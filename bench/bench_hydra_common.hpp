@@ -1,0 +1,89 @@
+// Shared Hydra bench pipeline: problem + chain specs per mesh label,
+// RIB partitions/plans cached per rank count (Hydra's default
+// partitioner), kernel-cost calibration over one full iteration.
+#pragma once
+
+#include <memory>
+
+#include "bench_common.hpp"
+#include "op2ca/apps/hydra/hydra.hpp"
+
+namespace op2ca::bench {
+
+class HydraBench {
+public:
+  HydraBench(const BenchConfig& cfg, const std::string& mesh_label)
+      : cfg_(cfg),
+        prob_(apps::hydra::build_problem(
+            scaled_mesh(mesh_label, cfg.scale))),
+        specs_(apps::hydra::chain_specs(prob_)) {
+    if (cfg.calibrate) {
+      apps::hydra::Problem small = apps::hydra::build_problem(20000);
+      host_g_ = model::calibrate_loop_costs(
+          std::move(small.an.mesh), [&](core::Runtime& rt) {
+            const auto h = apps::hydra::resolve_handles(rt, small);
+            apps::hydra::run_setup(rt, h);
+            apps::hydra::run_iteration(rt, h);
+          });
+    }
+  }
+
+  const apps::hydra::Problem& problem() const { return prob_; }
+  const std::map<std::string, core::ChainSpec>& specs() const {
+    return specs_;
+  }
+
+  /// Dats the inter-iteration rk_update loop re-dirties.
+  std::set<mesh::dat_id> rk_written() const {
+    return {prob_.qo,  prob_.qp,  prob_.ql,   prob_.qrg,  prob_.qmu,
+            prob_.vol, prob_.xp,  prob_.jacp, prob_.jaca, prob_.jacb};
+  }
+
+  ChainPrediction predict(const model::Machine& mach, int machine_nodes,
+                          const std::string& chain) {
+    const int nranks = scaled_ranks(mach, machine_nodes, cfg_.scale);
+    const halo::HaloPlan& plan = plan_for_ranks(nranks);
+    const core::ChainSpec& spec = specs_.at(chain);
+    const std::set<mesh::dat_id> stale =
+        model::steady_state_stale(spec, rk_written());
+    return predict_chain(mach, prob_.an.mesh, plan, spec, stale, host_g());
+  }
+
+  int ranks_for(const model::Machine& mach, int machine_nodes) const {
+    return scaled_ranks(mach, machine_nodes, cfg_.scale);
+  }
+
+  const std::map<std::string, double>& host_g() {
+    if (host_g_.empty()) {
+      // Fallback costs when calibration was skipped.
+      for (const auto& [name, spec] : specs_)
+        for (const auto& loop : spec.loops)
+          host_g_[loop.name] = model::default_host_g();
+      host_g_["rk_update"] = model::default_host_g();
+    }
+    return host_g_;
+  }
+
+private:
+  const halo::HaloPlan& plan_for_ranks(int nranks) {
+    // LRU-1: see bench_mgcfd_common.hpp. Callers should iterate node
+    // counts in the inner-most loop order that maximizes reuse.
+    if (nranks != cached_ranks_) {
+      partition::Partition part = partition::partition_mesh(
+          prob_.an.mesh, nranks, partition::Kind::RIB, prob_.an.nodes);
+      plan_ = std::make_unique<halo::HaloPlan>(
+          plan_for(prob_.an.mesh, part, /*depth=*/2));
+      cached_ranks_ = nranks;
+    }
+    return *plan_;
+  }
+
+  BenchConfig cfg_;
+  apps::hydra::Problem prob_;
+  std::map<std::string, core::ChainSpec> specs_;
+  std::map<std::string, double> host_g_;
+  int cached_ranks_ = -1;
+  std::unique_ptr<halo::HaloPlan> plan_;
+};
+
+}  // namespace op2ca::bench

@@ -1,0 +1,63 @@
+// mgcfd_mini — runs the MG-CFD analogue end to end: a 3-level multigrid
+// Euler solve plus the paper's synthetic update/edge_flux loop-chain,
+// comparing OP2 and CA execution of the chain on the same simulated
+// machine and reporting residuals and communication metrics.
+//
+//   ./mgcfd_mini [--nodes=20000] [--ranks=8] [--steps=5] [--nchains=8]
+#include <iostream>
+
+#include "op2ca/apps/mgcfd/mgcfd.hpp"
+#include "op2ca/core/runtime.hpp"
+#include "op2ca/util/options.hpp"
+#include "op2ca/util/timer.hpp"
+
+using namespace op2ca;
+
+int main(int argc, char** argv) {
+  const Options opt(argc, argv, {"nodes", "ranks", "steps", "nchains"});
+  const gidx_t nodes = opt.get_int("nodes", 20000);
+  const int ranks = static_cast<int>(opt.get_int("ranks", 8));
+  const int steps = static_cast<int>(opt.get_int("steps", 5));
+  const int nchains = static_cast<int>(opt.get_int("nchains", 8));
+
+  std::cout << "MG-CFD mini: ~" << nodes << " nodes, 3 levels, " << ranks
+            << " ranks, " << steps << " timesteps, synthetic chain of "
+            << 2 * nchains << " loops\n";
+
+  for (const bool ca : {false, true}) {
+    apps::mgcfd::Problem prob = apps::mgcfd::build_problem(nodes, 3);
+    core::WorldConfig cfg;
+    cfg.nranks = ranks;
+    cfg.partitioner = partition::Kind::KWay;
+    cfg.halo_depth = 2;
+    if (ca) cfg.chains.enable("synthetic", 2 * nchains, 2);
+    core::World w(std::move(prob.mg.mesh), cfg);
+
+    WallTimer timer;
+    std::vector<double> rms;
+    w.run([&](core::Runtime& rt) {
+      const auto h = apps::mgcfd::resolve_handles(rt, prob);
+      for (int t = 0; t < steps; ++t) {
+        const double r = apps::mgcfd::solver_iteration(rt, h);
+        apps::mgcfd::run_synthetic_chain(rt, h, nchains);
+        if (rt.rank() == 0) rms.push_back(r);
+      }
+    });
+    const double wall = timer.elapsed();
+
+    const auto chain = w.chain_metrics().at("synthetic");
+    std::cout << "\n[" << (ca ? "CA" : "OP2") << "]\n"
+              << "  residual RMS: first=" << rms.front()
+              << " last=" << rms.back() << '\n'
+              << "  synthetic chain: messages=" << chain.msgs
+              << " bytes=" << chain.bytes
+              << " max message=" << chain.max_msg_bytes << " B\n"
+              << "  core iters=" << chain.core_iters
+              << " halo iters=" << chain.halo_iters << '\n'
+              << "  wall time " << wall << " s\n";
+  }
+  std::cout << "\nThe CA run exchanged one grouped message per neighbour "
+               "per chain; the baseline re-exchanged sres for every "
+               "edge_flux loop.\n";
+  return 0;
+}

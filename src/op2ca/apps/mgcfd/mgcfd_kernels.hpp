@@ -1,0 +1,137 @@
+// MG-CFD kernel bodies. The physics is a compact inviscid-flow
+// finite-volume scheme: enough arithmetic per iteration to be
+// representative of the real mini-app's flux kernels, fully
+// deterministic, and order-independent where executed redundantly
+// (increments commute; direct writes touch each element once).
+#pragma once
+
+#include <cmath>
+
+namespace op2ca::apps::mgcfd::kernels {
+
+inline constexpr int kQDim = 5;  // rho, rho*u, rho*v, rho*w, rho*E
+inline constexpr double kGamma = 1.4;
+inline constexpr double kCfl = 0.9;
+
+/// adt = local pseudo-timestep scale from the flow state (nodes, direct).
+inline void step_factor(const double* q, double* adt) {
+  const double rho = q[0] > 1e-12 ? q[0] : 1e-12;
+  const double inv_rho = 1.0 / rho;
+  const double u = q[1] * inv_rho, v = q[2] * inv_rho, w = q[3] * inv_rho;
+  const double ke = 0.5 * (u * u + v * v + w * w);
+  double p = (kGamma - 1.0) * (q[4] - rho * ke);
+  if (p < 1e-12) p = 1e-12;
+  const double c = std::sqrt(kGamma * p * inv_rho);
+  const double speed = std::sqrt(u * u + v * v + w * w) + c;
+  adt[0] = kCfl / (speed + 1e-12);
+}
+
+/// Central flux with scalar dissipation along an edge; increments the
+/// residuals of both end nodes (edges; q READ indirect, res INC indirect,
+/// ewt READ direct).
+inline void compute_flux_edge(const double* q1, const double* q2,
+                              const double* ewt, double* res1,
+                              double* res2) {
+  const double inv_r1 = 1.0 / (q1[0] > 1e-12 ? q1[0] : 1e-12);
+  const double inv_r2 = 1.0 / (q2[0] > 1e-12 ? q2[0] : 1e-12);
+  double vel1[3] = {q1[1] * inv_r1, q1[2] * inv_r1, q1[3] * inv_r1};
+  double vel2[3] = {q2[1] * inv_r2, q2[2] * inv_r2, q2[3] * inv_r2};
+  const double ke1 =
+      0.5 * (vel1[0] * vel1[0] + vel1[1] * vel1[1] + vel1[2] * vel1[2]);
+  const double ke2 =
+      0.5 * (vel2[0] * vel2[0] + vel2[1] * vel2[1] + vel2[2] * vel2[2]);
+  double p1 = (kGamma - 1.0) * (q1[4] - q1[0] * ke1);
+  double p2 = (kGamma - 1.0) * (q2[4] - q2[0] * ke2);
+  const double vn1 =
+      vel1[0] * ewt[0] + vel1[1] * ewt[1] + vel1[2] * ewt[2];
+  const double vn2 =
+      vel2[0] * ewt[0] + vel2[1] * ewt[1] + vel2[2] * ewt[2];
+
+  double flux[kQDim];
+  flux[0] = 0.5 * (q1[0] * vn1 + q2[0] * vn2);
+  flux[1] = 0.5 * (q1[1] * vn1 + q2[1] * vn2 + (p1 + p2) * ewt[0]);
+  flux[2] = 0.5 * (q1[2] * vn1 + q2[2] * vn2 + (p1 + p2) * ewt[1]);
+  flux[3] = 0.5 * (q1[3] * vn1 + q2[3] * vn2 + (p1 + p2) * ewt[2]);
+  flux[4] = 0.5 * ((q1[4] + p1) * vn1 + (q2[4] + p2) * vn2);
+
+  // Scalar (Rusanov-style) dissipation.
+  const double diss = 0.05 * (std::abs(vn1) + std::abs(vn2) + 1.0);
+  for (int k = 0; k < kQDim; ++k) {
+    const double d = diss * (q2[k] - q1[k]);
+    res1[k] += flux[k] + d;
+    res2[k] -= flux[k] + d;
+  }
+}
+
+/// Explicit update consuming (and zeroing) the residual (nodes; q RW
+/// direct, adt READ direct, res RW direct).
+inline void time_step(double* q, const double* adt, double* res) {
+  for (int k = 0; k < kQDim; ++k) {
+    q[k] -= 1e-3 * adt[0] * res[k];
+    res[k] = 0.0;
+  }
+}
+
+/// Residual L2 contribution (nodes direct; gbl INC).
+inline void residual_rms(const double* res, double* rms) {
+  double s = 0.0;
+  for (int k = 0; k < kQDim; ++k) s += res[k] * res[k];
+  rms[0] += s;
+}
+
+/// Fine-to-coarse restriction: accumulate fine q onto the mapped coarse
+/// node (fine nodes; coarse q INC indirect, fine q READ direct).
+inline void restrict_q(const double* fine_q, double* coarse_q) {
+  for (int k = 0; k < kQDim; ++k) coarse_q[k] += 0.125 * fine_q[k];
+}
+
+/// Coarse-to-fine injection (coarse nodes; fine q RW indirect arity 1 —
+/// each fine node is targeted by at most one coarse node).
+inline void prolong_q(const double* coarse_q, double* fine_q) {
+  for (int k = 0; k < kQDim; ++k)
+    fine_q[k] += 1e-3 * (coarse_q[k] - 8.0 * fine_q[k] * 0.125);
+}
+
+/// Zero a node dat (direct WRITE).
+inline void zero5(double* v) {
+  for (int k = 0; k < kQDim; ++k) v[k] = 0.0;
+}
+
+// ---- Synthetic chain kernels (Fig 2/3 of the paper). ------------------
+
+/// update: indirect INC of res from indirect READs of pres. (pres must
+/// stay read-only inside the chain: evolving it here would make its
+/// value feed res across elements, which deepens the halo requirement
+/// by one layer per loop pair — the r = n worst case of Section 3.1
+/// instead of the paper's r = 2.)
+inline void synth_update(double* res1, double* res2, const double* pres1,
+                         const double* pres2) {
+  res1[0] += pres1[0] - pres1[1];
+  res1[1] += pres2[0] - pres2[1];
+  res2[0] += pres2[1] - pres2[0];
+  res2[1] += pres1[1] - pres1[0];
+}
+
+/// edge_flux: replica of the costly flux kernel's access pattern —
+/// indirect READ of res, direct READ of edge weights, indirect INC of
+/// flux. Arithmetic density mirrors compute_flux_edge.
+inline void synth_edge_flux(double* flux1, double* flux2,
+                            const double* res1, const double* res2,
+                            const double* ewt) {
+  const double a = res1[0] * ewt[0] - res1[1] * ewt[1];
+  const double b = res2[1] * ewt[2] - res2[0] * ewt[3];
+  const double c = std::sqrt(std::abs(a * b) + 1.0);
+  flux1[0] += a + 0.5 * c;
+  flux1[1] += b - 0.5 * c;
+  flux2[0] += res2[1] * ewt[2] - res1[1] * ewt[3] + 0.25 * c;
+  flux2[1] += res1[0] * ewt[0] - res1[1] * ewt[1] - 0.25 * c;
+}
+
+/// Outside-the-chain perturbation re-dirtying pres each timestep
+/// (nodes; pres RW direct).
+inline void synth_perturb(double* pres) {
+  pres[0] = 0.999 * pres[0] + 1e-4;
+  pres[1] = 0.999 * pres[1] - 1e-4;
+}
+
+}  // namespace op2ca::apps::mgcfd::kernels

@@ -1,0 +1,67 @@
+#include <string>
+
+#include "op2ca/apps/mgcfd/mgcfd.hpp"
+#include "op2ca/apps/mgcfd/mgcfd_kernels.hpp"
+#include "op2ca/mesh/hex3d.hpp"
+#include "op2ca/util/rng.hpp"
+
+namespace op2ca::apps::mgcfd {
+namespace {
+
+std::vector<double> random_field(std::size_t n, Rng* rng, double lo,
+                                 double hi) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->next_range(lo, hi);
+  return v;
+}
+
+}  // namespace
+
+Problem build_problem(gidx_t target_nodes, int num_levels,
+                      std::uint64_t seed) {
+  gidx_t nx = 0, ny = 0, nz = 0;
+  mesh::pick_dims_for_nodes(target_nodes, &nx, &ny, &nz);
+
+  Problem prob;
+  prob.mg = mesh::make_multigrid_hex(nx, ny, nz, num_levels);
+  mesh::MeshDef& m = prob.mg.mesh;
+  Rng rng(seed);
+
+  prob.levels.resize(prob.mg.levels.size());
+  for (std::size_t l = 0; l < prob.mg.levels.size(); ++l) {
+    const mesh::MgLevel& lv = prob.mg.levels[l];
+    const auto nn = static_cast<std::size_t>(m.set(lv.nodes).size);
+    const auto ne = static_cast<std::size_t>(m.set(lv.edges).size);
+    const std::string sfx = "_l" + std::to_string(l);
+
+    // Free-stream-ish state with a perturbation so fluxes are non-zero.
+    std::vector<double> q(nn * kernels::kQDim);
+    for (std::size_t i = 0; i < nn; ++i) {
+      q[i * 5 + 0] = 1.0 + 0.01 * rng.next_double();
+      q[i * 5 + 1] = 0.3 + 0.01 * rng.next_double();
+      q[i * 5 + 2] = 0.02 * rng.next_double();
+      q[i * 5 + 3] = 0.02 * rng.next_double();
+      q[i * 5 + 4] = 2.5 + 0.05 * rng.next_double();
+    }
+    prob.levels[l].q = m.add_dat("q" + sfx, lv.nodes, 5, std::move(q));
+    prob.levels[l].adt = m.add_dat("adt" + sfx, lv.nodes, 1);
+    prob.levels[l].res = m.add_dat("res" + sfx, lv.nodes, 5);
+    prob.levels[l].ewt = m.add_dat("ewt" + sfx, lv.edges, 3,
+                                   random_field(ne * 3, &rng, -0.5, 0.5));
+  }
+
+  // Synthetic-chain dats on the finest level.
+  const mesh::MgLevel& l0 = prob.mg.levels.front();
+  const auto nn0 = static_cast<std::size_t>(m.set(l0.nodes).size);
+  const auto ne0 = static_cast<std::size_t>(m.set(l0.edges).size);
+  prob.sres = m.add_dat("sres", l0.nodes, 2,
+                        random_field(nn0 * 2, &rng, -1.0, 1.0));
+  prob.spres = m.add_dat("spres", l0.nodes, 2,
+                         random_field(nn0 * 2, &rng, -1.0, 1.0));
+  prob.sflux = m.add_dat("sflux", l0.nodes, 2);
+  prob.sewt = m.add_dat("sewt", l0.edges, 4,
+                        random_field(ne0 * 4, &rng, -0.5, 0.5));
+  return prob;
+}
+
+}  // namespace op2ca::apps::mgcfd

@@ -1,0 +1,86 @@
+#include "op2ca/comm/comm.hpp"
+
+#include <algorithm>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::sim {
+
+void CommStats::reset_epoch() {
+  epoch_msgs_sent = 0;
+  epoch_bytes_sent = 0;
+  epoch_max_msg_bytes = 0;
+  epoch_neighbors.clear();
+}
+
+Comm::Comm(Transport& transport, rank_t rank, const CostModel* cost)
+    : transport_(&transport), rank_(rank), cost_(cost) {
+  OP2CA_REQUIRE(rank >= 0 && rank < transport.size(),
+                "Comm rank out of range");
+}
+
+Request Comm::isend(rank_t dst, tag_t tag,
+                    std::span<const std::byte> payload) {
+  OP2CA_REQUIRE(dst != rank_, "isend to self is not supported");
+  Message msg;
+  msg.src = rank_;
+  msg.dst = dst;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+  const std::size_t n = msg.payload.size();
+  transport_->post(std::move(msg));
+
+  stats_.msgs_sent += 1;
+  stats_.bytes_sent += static_cast<std::int64_t>(n);
+  stats_.send_neighbors.insert(dst);
+  stats_.epoch_msgs_sent += 1;
+  stats_.epoch_bytes_sent += static_cast<std::int64_t>(n);
+  stats_.epoch_max_msg_bytes =
+      std::max(stats_.epoch_max_msg_bytes, static_cast<std::int64_t>(n));
+  stats_.epoch_neighbors.insert(dst);
+
+  Request req;
+  req.kind_ = Request::Kind::Send;
+  req.peer = dst;
+  req.tag = tag;
+  req.sent_bytes = n;
+  return req;
+}
+
+Request Comm::irecv(rank_t src, tag_t tag, std::vector<std::byte>* out) {
+  OP2CA_REQUIRE(out != nullptr, "irecv requires an output buffer");
+  OP2CA_REQUIRE(src != rank_, "irecv from self is not supported");
+  Request req;
+  req.kind_ = Request::Kind::Recv;
+  req.peer = src;
+  req.tag = tag;
+  req.recv_buffer = out;
+  return req;
+}
+
+void Comm::wait(Request& req) {
+  OP2CA_REQUIRE(req.valid(), "wait on an empty request");
+  if (req.kind_ == Request::Kind::Recv) {
+    Message msg = transport_->match(rank_, req.peer, req.tag);
+    *req.recv_buffer = std::move(msg.payload);
+    stats_.msgs_received += 1;
+    stats_.bytes_received +=
+        static_cast<std::int64_t>(req.recv_buffer->size());
+    stats_.recv_neighbors.insert(req.peer);
+    if (cost_ != nullptr) {
+      clock_.advance(cost_->message_time(
+          static_cast<std::int64_t>(req.recv_buffer->size())));
+    }
+  }
+  // Sends complete eagerly at isend time (payload copied).
+  req.kind_ = Request::Kind::None;
+}
+
+void Comm::wait_all(std::span<Request> reqs) {
+  for (auto& req : reqs)
+    if (req.valid()) wait(req);
+}
+
+void Comm::barrier() { transport_->barrier(); }
+
+}  // namespace op2ca::sim

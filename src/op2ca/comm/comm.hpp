@@ -1,0 +1,100 @@
+// Per-rank communicator over the shared Transport, with non-blocking
+// send/recv requests, communication statistics, and a virtual clock fed by
+// a pluggable cost model. Mirrors the MPI calls used in Alg 1 / Alg 2 of
+// the paper (MPI_Isend, MPI_Irecv, MPI_Wait).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "op2ca/comm/cost_model.hpp"
+#include "op2ca/comm/transport.hpp"
+#include "op2ca/util/timer.hpp"
+#include "op2ca/util/types.hpp"
+
+namespace op2ca::sim {
+
+/// Per-rank communication counters. `epoch_*` fields reset via
+/// `reset_epoch()` so a bench can meter one loop or one chain at a time.
+struct CommStats {
+  std::int64_t msgs_sent = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t msgs_received = 0;
+  std::int64_t bytes_received = 0;
+  std::set<rank_t> send_neighbors;
+  std::set<rank_t> recv_neighbors;
+
+  std::int64_t epoch_msgs_sent = 0;
+  std::int64_t epoch_bytes_sent = 0;
+  std::int64_t epoch_max_msg_bytes = 0;
+  std::set<rank_t> epoch_neighbors;
+
+  void reset_epoch();
+};
+
+/// Handle for a pending non-blocking operation.
+class Request {
+public:
+  Request() = default;
+
+  bool valid() const { return kind_ != Kind::None; }
+
+private:
+  friend class Comm;
+  enum class Kind { None, Send, Recv };
+  Kind kind_ = Kind::None;
+  rank_t peer = -1;
+  tag_t tag = 0;
+  std::vector<std::byte>* recv_buffer = nullptr;  // Recv only.
+  std::size_t sent_bytes = 0;                     // Send only.
+};
+
+/// One simulated process's communication endpoint.
+///
+/// Not thread-safe: a Comm belongs to exactly one rank thread.
+class Comm {
+public:
+  Comm(Transport& transport, rank_t rank, const CostModel* cost = nullptr);
+
+  rank_t rank() const { return rank_; }
+  int size() const { return transport_->size(); }
+
+  /// Begins a non-blocking send; the payload is copied before returning.
+  Request isend(rank_t dst, tag_t tag, std::span<const std::byte> payload);
+  /// Begins a non-blocking receive into `*out` (resized on completion).
+  Request irecv(rank_t src, tag_t tag, std::vector<std::byte>* out);
+
+  void wait(Request& req);
+  void wait_all(std::span<Request> reqs);
+
+  void barrier();
+
+  /// Collectives (implemented over point-to-point; see collectives.cpp).
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+  std::int64_t allreduce_sum(std::int64_t value);
+  std::int64_t allreduce_max(std::int64_t value);
+  /// Gathers one value from each rank, in rank order, on every rank.
+  std::vector<double> allgather(double value);
+  std::vector<std::int64_t> allgather(std::int64_t value);
+
+  CommStats& stats() { return stats_; }
+  const CommStats& stats() const { return stats_; }
+
+  /// Virtual (modeled) time accumulated by the cost model, if one is set.
+  VirtualClock& clock() { return clock_; }
+  const CostModel* cost_model() const { return cost_; }
+
+private:
+  friend class Collectives;
+  Transport* transport_;
+  rank_t rank_;
+  const CostModel* cost_;
+  CommStats stats_;
+  VirtualClock clock_;
+};
+
+}  // namespace op2ca::sim

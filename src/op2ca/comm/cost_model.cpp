@@ -1,0 +1,2 @@
+// cost_model.hpp is header-only; TU kept for target symmetry.
+#include "op2ca/comm/cost_model.hpp"

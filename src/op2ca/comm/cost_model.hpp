@@ -1,0 +1,37 @@
+// Latency/bandwidth communication cost model (LogGP-flavoured).
+//
+// The analytic model of the paper (Eqs 1-3) charges a halo exchange
+// p * (L + m/B [+ c]) where L is network latency, B bandwidth, p the
+// neighbour count and c a pack/unpack cost. This struct carries those
+// machine parameters; model/machine.cpp provides ARCHER2-like and
+// Cirrus-like presets. The same parameters drive the per-rank virtual
+// clocks in real execution mode so small runs report machine-scaled times.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace op2ca::sim {
+
+struct CostModel {
+  std::string name = "default";
+
+  double latency_s = 2.0e-6;          ///< L: per-message network latency.
+  double bandwidth_Bps = 12.5e9;      ///< B: network bandwidth, bytes/s.
+  double pack_bandwidth_Bps = 20e9;   ///< memcpy bandwidth for (un)packing.
+  double per_message_overhead_s = 0;  ///< extra host overhead per message.
+
+  /// Time to move one `bytes`-sized message to a neighbour.
+  double message_time(std::int64_t bytes) const {
+    return latency_s + per_message_overhead_s +
+           static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  /// Pack or unpack cost for `bytes` of staged halo data (the `c` term of
+  /// Eq (3) is pack_time + unpack_time of the grouped message).
+  double pack_time(std::int64_t bytes) const {
+    return static_cast<double>(bytes) / pack_bandwidth_Bps;
+  }
+};
+
+}  // namespace op2ca::sim

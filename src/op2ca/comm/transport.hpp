@@ -1,0 +1,87 @@
+// In-process message transport shared by all simulated ranks.
+//
+// This is the distributed-memory substrate standing in for MPI (none is
+// installed in this environment). Semantics mirror the subset of MPI the
+// OP2 runtime needs: point-to-point tagged messages with non-overtaking
+// order per (src, dst, tag), non-blocking send/recv with wait, and a
+// barrier. Each rank runs on its own thread; mailboxes are mutex+condvar
+// protected queues. Payloads are copied on send, so a sender may reuse or
+// mutate its buffer immediately after isend returns — the OP2 runtime
+// nevertheless packs into staging buffers first, exactly as the real
+// back-end does.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "op2ca/util/types.hpp"
+
+namespace op2ca::sim {
+
+/// Message tag. User tags are >= 0; negative tags are reserved for
+/// internal collectives.
+using tag_t = std::int32_t;
+
+/// A delivered message (payload already copied out of the sender).
+struct Message {
+  rank_t src = -1;
+  rank_t dst = -1;
+  tag_t tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Shared mailbox fabric for `nranks` simulated processes.
+class Transport {
+public:
+  explicit Transport(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Enqueues a message at the destination mailbox (non-blocking).
+  void post(Message msg);
+
+  /// Blocks until a message from `src` with `tag` is available for `dst`
+  /// and removes it from the mailbox. FIFO per (src, tag).
+  Message match(rank_t dst, rank_t src, tag_t tag);
+
+  /// Non-blocking probe-and-take; returns false if nothing matches yet.
+  bool try_match(rank_t dst, rank_t src, tag_t tag, Message* out);
+
+  /// Dissemination-free centralised barrier over all ranks.
+  void barrier();
+
+  /// Number of messages currently queued across all mailboxes (test aid).
+  std::size_t in_flight() const;
+
+  /// Marks the fabric as failed: every blocked or future match/barrier
+  /// throws instead of waiting forever. Called when a rank errors so the
+  /// remaining SPMD threads unwind instead of deadlocking.
+  void poison();
+  bool poisoned() const { return poisoned_.load(); }
+
+private:
+  struct Mailbox {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+  };
+
+  bool take_locked(Mailbox& box, rank_t src, tag_t tag, Message* out);
+
+  int nranks_;
+  std::atomic<bool> poisoned_{false};
+  std::vector<Mailbox> boxes_;
+
+  std::mutex barrier_mu_;
+  std::condition_variable barrier_cv_;
+  int barrier_count_ = 0;
+  std::uint64_t barrier_generation_ = 0;
+};
+
+}  // namespace op2ca::sim

@@ -1,0 +1,28 @@
+// OP2 access descriptors: how a par_loop argument touches its dat.
+#pragma once
+
+namespace op2ca::core {
+
+/// Mirrors OP2's OP_READ / OP_WRITE / OP_RW / OP_INC access modes.
+enum class Access {
+  READ,   ///< read-only.
+  WRITE,  ///< full overwrite of the touched element.
+  RW,     ///< read-modify-write.
+  INC,    ///< commutative increment (kernel only adds contributions).
+};
+
+constexpr bool reads(Access a) {
+  return a == Access::READ || a == Access::RW || a == Access::INC;
+}
+/// Reads that consume a value (INC's read of the old value is handled
+/// separately by the sync-depth rules).
+constexpr bool reads_value(Access a) {
+  return a == Access::READ || a == Access::RW;
+}
+constexpr bool writes(Access a) {
+  return a == Access::WRITE || a == Access::RW || a == Access::INC;
+}
+
+const char* access_name(Access a);
+
+}  // namespace op2ca::core

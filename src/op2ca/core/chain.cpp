@@ -1,0 +1,160 @@
+// Chain bracketing: capture between chain_begin / chain_end, then either
+// CA execution (enabled chains) or plain sequential OP2 execution.
+#include <cstdio>
+#include <functional>
+
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/log.hpp"
+
+namespace op2ca::core {
+
+void Runtime::chain_begin(const std::string& name) {
+  OP2CA_REQUIRE(!state_->capturing,
+                "chain_begin('" + name + "') while chain '" +
+                    state_->chain_name + "' is still open");
+  detail::flush_lazy(*state_);  // explicit chains take precedence
+  state_->capturing = true;
+  state_->chain_name = name;
+  state_->chain_loops.clear();
+}
+
+void Runtime::chain_end() {
+  OP2CA_REQUIRE(state_->capturing, "chain_end without chain_begin");
+  state_->capturing = false;
+  std::vector<detail::LoopRecord> loops = std::move(state_->chain_loops);
+  state_->chain_loops.clear();
+  const std::string name = state_->chain_name;
+
+  const ChainConfig& cfg = world_->config().chains;
+  if (!cfg.enabled(name)) {
+    // CA disabled for this chain: run the loops as standard OP2 loops,
+    // but still meter them under the chain's name so benches can compare
+    // the two execution modes of the same chain.
+    LoopMetrics chain_total;
+    chain_total.calls = 1;
+    for (const auto& rec : loops) {
+      const LoopMetrics m = detail::execute_loop_op2(*state_, rec);
+      chain_total.core_iters += m.core_iters;
+      chain_total.halo_iters += m.halo_iters;
+      chain_total.msgs += m.msgs;
+      chain_total.bytes += m.bytes;
+      chain_total.max_msg_bytes =
+          std::max(chain_total.max_msg_bytes, m.max_msg_bytes);
+      chain_total.max_rank_bytes += m.max_rank_bytes;
+      chain_total.max_neighbors =
+          std::max(chain_total.max_neighbors, m.max_neighbors);
+      chain_total.wall_seconds += m.wall_seconds;
+    }
+    LoopMetrics& agg = state_->chain_metrics[name];
+    const std::int64_t prev_calls = agg.calls;
+    agg.merge_from(chain_total);
+    agg.calls = prev_calls + 1;
+    return;
+  }
+
+  const int expected = cfg.expected_loops(name);
+  if (expected > 0 && expected != static_cast<int>(loops.size())) {
+    OP2CA_LOG_WARN << "chain '" << name << "' configured with " << expected
+                   << " loops but captured " << loops.size();
+  }
+
+  detail::execute_chain_ca(*state_, name, loops);
+}
+
+void Runtime::flush() { detail::flush_lazy(*state_); }
+
+namespace detail {
+
+namespace {
+
+/// Structural signature of a queued program fragment, so repeated phases
+/// of a lazy application hit the analysis cache.
+std::string lazy_signature(const std::vector<LoopRecord>& loops) {
+  std::string text;
+  for (const LoopRecord& rec : loops) {
+    text += rec.name;
+    text += '/';
+    text += std::to_string(rec.set);
+    for (const ArgSpec& a : rec.spec.args) {
+      text += ':';
+      text += std::to_string(a.dat);
+      text += access_name(a.mode);
+      if (a.indirect) {
+        text += 'm';
+        text += std::to_string(a.map);
+        text += '.';
+        text += std::to_string(a.map_idx);
+      }
+    }
+    text += ';';
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016zx", std::hash<std::string>{}(text));
+  return std::string("lazy:") + buf;
+}
+
+}  // namespace
+
+namespace {
+
+/// Feasibility of a window of queued loops as one CA chain: accepted by
+/// the inspector AND within the halo plan's depth. Caches the analysis
+/// under the window's signature so the executor reuses it.
+bool window_feasible(RankState& st, const std::vector<LoopRecord>& loops,
+                     std::size_t begin, std::size_t end,
+                     std::string* name_out) {
+  std::vector<LoopRecord> window(loops.begin() + static_cast<long>(begin),
+                                 loops.begin() + static_cast<long>(end));
+  const std::string name = lazy_signature(window);
+  *name_out = name;
+  const auto it = st.chain_cache.find(name);
+  if (it != st.chain_cache.end())
+    return it->second.required_depth <= st.world->plan().depth;
+  ChainSpec spec;
+  spec.name = name;
+  for (const auto& rec : window) spec.loops.push_back(rec.spec);
+  try {
+    ChainAnalysis an = inspect_chain(st.world->mesh(), spec);
+    const bool ok = an.required_depth <= st.world->plan().depth;
+    st.chain_cache.emplace(name, std::move(an));
+    return ok;
+  } catch (const Error&) {
+    return false;  // inspector rejected (e.g. unregenerable direct write)
+  }
+}
+
+}  // namespace
+
+void flush_lazy(RankState& st) {
+  if (st.lazy_queue.empty()) return;
+  std::vector<LoopRecord> loops = std::move(st.lazy_queue);
+  st.lazy_queue.clear();
+  ++st.lazy_flushes;
+
+  // Greedy segmentation: grow each window while it stays CA-feasible;
+  // flush it as an auto-formed chain (>= 2 loops) or a plain loop.
+  std::size_t i = 0;
+  while (i < loops.size()) {
+    std::size_t j = i + 1;
+    std::string name = lazy_signature({loops[i]});
+    while (j < loops.size()) {
+      std::string candidate;
+      if (!window_feasible(st, loops, i, j + 1, &candidate)) break;
+      name = candidate;
+      ++j;
+    }
+    if (j - i >= 2) {
+      std::vector<LoopRecord> window(loops.begin() + static_cast<long>(i),
+                                     loops.begin() + static_cast<long>(j));
+      execute_chain_ca(st, name, window);
+    } else {
+      execute_loop_op2(st, loops[i]);
+    }
+    i = j;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace op2ca::core

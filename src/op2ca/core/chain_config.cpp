@@ -1,0 +1,110 @@
+#include "op2ca/core/chain_config.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::core {
+namespace {
+
+/// Splits "key=value" into its parts; returns false if no '='.
+bool split_kv(const std::string& token, std::string* key,
+              std::string* value) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) return false;
+  *key = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+  return true;
+}
+
+int parse_int(const std::string& v, const std::string& context) {
+  try {
+    return std::stoi(v);
+  } catch (const std::exception&) {
+    raise("ChainConfig: bad integer '" + v + "' in " + context);
+  }
+}
+
+}  // namespace
+
+ChainConfig ChainConfig::load(const std::string& path) {
+  std::ifstream in(path);
+  OP2CA_REQUIRE(in.good(), "ChainConfig: cannot open " + path);
+  return parse(in);
+}
+
+ChainConfig ChainConfig::parse(std::istream& in) {
+  ChainConfig cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string directive;
+    if (!(ls >> directive)) continue;  // blank
+
+    const std::string where = "line " + std::to_string(lineno);
+    if (directive == "default") {
+      std::string v;
+      OP2CA_REQUIRE(static_cast<bool>(ls >> v),
+                    "ChainConfig: 'default' needs on|off at " + where);
+      OP2CA_REQUIRE(v == "on" || v == "off",
+                    "ChainConfig: 'default' must be on|off at " + where);
+      cfg.default_enabled_ = v == "on";
+      continue;
+    }
+    OP2CA_REQUIRE(directive == "chain",
+                  "ChainConfig: unknown directive '" + directive + "' at " +
+                      where);
+    std::string name;
+    OP2CA_REQUIRE(static_cast<bool>(ls >> name),
+                  "ChainConfig: 'chain' needs a name at " + where);
+    Entry entry;
+    std::string token;
+    while (ls >> token) {
+      std::string key, value;
+      OP2CA_REQUIRE(split_kv(token, &key, &value),
+                    "ChainConfig: expected key=value, got '" + token +
+                        "' at " + where);
+      if (key == "loops")
+        entry.loops = parse_int(value, where);
+      else if (key == "depth")
+        entry.max_depth = parse_int(value, where);
+      else if (key == "enabled")
+        entry.enabled = parse_int(value, where) != 0;
+      else
+        raise("ChainConfig: unknown key '" + key + "' at " + where);
+    }
+    cfg.entries_[name] = entry;
+  }
+  return cfg;
+}
+
+void ChainConfig::enable(const std::string& name, int loops, int max_depth) {
+  entries_[name] = Entry{true, loops, max_depth};
+}
+
+void ChainConfig::disable(const std::string& name) {
+  entries_[name] = Entry{false, 0, 0};
+}
+
+bool ChainConfig::enabled(const std::string& name) const {
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) return default_enabled_;
+  return it->second.enabled;
+}
+
+int ChainConfig::max_depth(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.max_depth;
+}
+
+int ChainConfig::expected_loops(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.loops;
+}
+
+}  // namespace op2ca::core

@@ -1,0 +1,46 @@
+// Per-rank dat storage: localization from the global MeshDef arrays into
+// the halo-plan layout, and refresh/scatter helpers.
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/halo/renumber.hpp"
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::core::detail {
+
+RankState::RankState(World* w, sim::Transport& transport, rank_t r)
+    : world(w), rank(r), comm(transport, r, &w->config().cost) {
+  const mesh::MeshDef& mesh = world->mesh();
+  dats.resize(static_cast<std::size_t>(mesh.num_dats()));
+  for (mesh::dat_id d = 0; d < mesh.num_dats(); ++d) {
+    const mesh::DatDef& dd = mesh.dat(d);
+    RankDat& rd = dats[static_cast<std::size_t>(d)];
+    rd.dim = dd.dim;
+    rd.data = halo::gather_local(dd.data, dd.dim, layout(dd.set));
+    // Halos are gathered straight from the global arrays, so every layer
+    // the plan holds starts in sync.
+    rd.fresh_depth = world->plan().depth;
+  }
+}
+
+const halo::RankPlan& RankState::rank_plan() const {
+  return world->plan().ranks[static_cast<std::size_t>(rank)];
+}
+
+const halo::SetLayout& RankState::layout(mesh::set_id s) const {
+  return rank_plan().sets[static_cast<std::size_t>(s)];
+}
+
+RankDat& RankState::rank_dat(mesh::dat_id d) {
+  OP2CA_REQUIRE(d >= 0 && d < static_cast<int>(dats.size()),
+                "dat id out of range");
+  return dats[static_cast<std::size_t>(d)];
+}
+
+void RankState::refresh_dat_from_global(
+    mesh::dat_id d, const std::vector<double>& global_data) {
+  const mesh::DatDef& dd = world->mesh().dat(d);
+  RankDat& rd = rank_dat(d);
+  rd.data = halo::gather_local(global_data, dd.dim, layout(dd.set));
+  rd.fresh_depth = world->plan().depth;
+}
+
+}  // namespace op2ca::core::detail

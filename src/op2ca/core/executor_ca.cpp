@@ -1,0 +1,186 @@
+// Communication-avoiding chain executor — Alg 2 of the paper.
+//
+// 1. Inspect the chain (cached by name): Alg-3 halo extensions HE_l,
+//    per-loop core shrinks, dats needing a pre-chain sync and their
+//    depths.
+// 2. Build and post ONE grouped message per neighbour containing every
+//    stale dat's exec+nonexec halo layers up to its sync depth (Fig 8).
+// 3. While in flight: run every loop's (shrunken) core in chain order.
+// 4. Wait, unpack.
+// 5. Run every loop's halo region in chain order: the deferred owned
+//    boundary (inward distance <= shrink_l) followed by the import-exec
+//    layers 1..HE_l — the redundant computation that replaces the
+//    per-loop halo exchanges.
+#include <algorithm>
+#include <deque>
+
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/core/slice.hpp"
+#include "op2ca/halo/grouped.hpp"
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/timer.hpp"
+
+namespace op2ca::core::detail {
+namespace {
+
+ChainSpec spec_from(const std::string& name,
+                    const std::vector<LoopRecord>& loops) {
+  ChainSpec spec;
+  spec.name = name;
+  spec.loops.reserve(loops.size());
+  for (const auto& rec : loops) spec.loops.push_back(rec.spec);
+  return spec;
+}
+
+}  // namespace
+
+void execute_chain_ca(RankState& st, const std::string& name,
+                      std::vector<LoopRecord>& loops) {
+  if (loops.empty()) return;
+  WallTimer timer;
+  const mesh::MeshDef& mesh = st.world->mesh();
+  const halo::RankPlan& rp = st.rank_plan();
+  st.comm.stats().reset_epoch();
+
+  // -- Inspection (cached; the analysis is rank-independent). ----------
+  auto cached = st.chain_cache.find(name);
+  if (cached == st.chain_cache.end() ||
+      cached->second.he.size() != loops.size()) {
+    ChainAnalysis analysis = inspect_chain(mesh, spec_from(name, loops));
+    cached = st.chain_cache.insert_or_assign(name, std::move(analysis)).first;
+  }
+  const ChainAnalysis& an = cached->second;
+
+  auto lists_it = st.chain_exec_lists.find(name);
+  if (lists_it == st.chain_exec_lists.end()) {
+    lists_it = st.chain_exec_lists
+                   .emplace(name, needed_exec_lists(
+                                      mesh, rp, st.world->plan().depth,
+                                      spec_from(name, loops), an))
+                   .first;
+  }
+  const std::vector<LIdxVec>& exec_lists = lists_it->second;
+
+  OP2CA_REQUIRE(
+      an.required_depth <= st.world->plan().depth,
+      "chain '" + name + "' needs " + std::to_string(an.required_depth) +
+          " halo layers but the World was built with halo_depth=" +
+          std::to_string(st.world->plan().depth) +
+          "; raise WorldConfig::halo_depth");
+  const int cap = st.world->config().chains.max_depth(name);
+  OP2CA_REQUIRE(cap == 0 || an.required_depth <= cap,
+                "chain '" + name + "' exceeds its configured max depth");
+
+  // -- Pre-chain grouped exchange (lines 1-7 of Alg 2). ----------------
+  // Drop dats whose halo is already fresh deep enough (dirty-bit check).
+  std::vector<halo::DatSyncSpec> specs;
+  std::vector<mesh::dat_id> synced;
+  for (const DatSync& s : an.syncs) {
+    RankDat& rd = st.rank_dat(s.dat);
+    if (rd.fresh_depth >= s.depth) continue;
+    halo::DatSyncSpec spec;
+    spec.set = mesh.dat(s.dat).set;
+    spec.dim = rd.dim;
+    spec.depth = s.depth;
+    spec.data = rd.data.data();
+    specs.push_back(spec);
+    synced.push_back(s.dat);
+  }
+
+  std::vector<sim::Request> requests;
+  std::deque<std::vector<std::byte>> recv_buffers;
+  std::vector<rank_t> recv_from;
+  if (!specs.empty()) {
+    // One grouped message per neighbour (send side).
+    for (rank_t q : rp.neighbors) {
+      std::vector<std::byte> buf = halo::pack_grouped(rp, q, specs);
+      if (!buf.empty())
+        requests.push_back(st.comm.isend(q, kChainTag, buf));
+    }
+    // Matching receives: my import volume from q equals q's export
+    // volume toward me, so posting on non-empty import lists is
+    // symmetric with the sender's non-empty export check.
+    for (rank_t q : rp.neighbors) {
+      bool any = false;
+      for (const auto& spec : specs) {
+        const halo::NeighborLists& nl =
+            rp.lists[static_cast<std::size_t>(spec.set)];
+        for (const auto* tab : {&nl.imp_exec, &nl.imp_nonexec}) {
+          const auto it = tab->find(q);
+          if (it == tab->end()) continue;
+          for (int k = 1; k <= spec.depth; ++k)
+            if (!it->second[static_cast<std::size_t>(k - 1)].empty())
+              any = true;
+        }
+      }
+      if (any) {
+        recv_buffers.emplace_back();
+        recv_from.push_back(q);
+        requests.push_back(
+            st.comm.irecv(q, kChainTag, &recv_buffers.back()));
+      }
+    }
+  }
+
+  const double t_pack = timer.elapsed();
+
+  // -- Core phase (lines 8-12): every loop's core in chain order. ------
+  std::int64_t core_iters = 0;
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    const halo::SetLayout& lay = st.layout(loops[l].set);
+    core_iters += run_range(loops[l], 0, lay.core_count(an.shrink[l]));
+  }
+
+  const double t_core = timer.elapsed();
+
+  // -- Wait + unpack (line 13). -----------------------------------------
+  st.comm.wait_all(requests);
+  for (std::size_t i = 0; i < recv_buffers.size(); ++i)
+    halo::unpack_grouped(rp, recv_from[i], specs, recv_buffers[i]);
+  for (std::size_t i = 0; i < synced.size(); ++i) {
+    RankDat& rd = st.rank_dat(synced[i]);
+    rd.fresh_depth = std::max(rd.fresh_depth, specs[i].depth);
+  }
+
+  const double t_wait = timer.elapsed();
+
+  // -- Halo phase (lines 14-18): deferred boundary + exec layers. -------
+  std::int64_t halo_iters = 0;
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    const halo::SetLayout& lay = st.layout(loops[l].set);
+    halo_iters +=
+        run_range(loops[l], lay.core_count(an.shrink[l]), lay.num_owned);
+    for (lidx_t e : exec_lists[l]) {
+      loops[l].body(e);
+      ++halo_iters;
+    }
+  }
+
+  // -- Dirty bits. -------------------------------------------------------
+  for (const auto& rec : loops)
+    for (const auto& [dat, m] : merge_loop_accesses(rec.spec))
+      if (writes(m.mode)) st.rank_dat(dat).fresh_depth = 0;
+
+  LoopMetrics metrics;
+  metrics.calls = 1;
+  metrics.core_iters = core_iters;
+  metrics.halo_iters = halo_iters;
+  metrics.msgs = st.comm.stats().epoch_msgs_sent;
+  metrics.bytes = st.comm.stats().epoch_bytes_sent;
+  metrics.max_msg_bytes = st.comm.stats().epoch_max_msg_bytes;
+  metrics.max_rank_bytes = st.comm.stats().epoch_bytes_sent;
+  metrics.max_neighbors =
+      static_cast<int>(st.comm.stats().epoch_neighbors.size());
+  metrics.wall_seconds = timer.elapsed();
+  metrics.pack_seconds = t_pack;
+  metrics.core_seconds = t_core - t_pack;
+  metrics.wait_seconds = t_wait - t_core;
+  metrics.halo_seconds = metrics.wall_seconds - t_wait;
+
+  LoopMetrics& agg = st.chain_metrics[name];
+  const std::int64_t prev_calls = agg.calls;
+  agg.merge_from(metrics);
+  agg.calls = prev_calls + 1;
+}
+
+}  // namespace op2ca::core::detail

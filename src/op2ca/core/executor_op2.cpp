@@ -1,0 +1,157 @@
+// Classic OP2 executor — Alg 1 of the paper.
+//
+// Per loop: post non-blocking exchanges of the level-1 halos of every dat
+// that is read and stale (two messages per dat per neighbour: exec and
+// nonexec — the 2 d p m^1 term of Eq (1)); execute the core while they
+// are in flight; wait; execute the owned boundary and, for loops with
+// indirect writes, the level-1 import-exec halo; reduce globals; mark
+// written dats' halos stale.
+#include <algorithm>
+#include <deque>
+#include <tuple>
+
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/halo/grouped.hpp"
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/timer.hpp"
+
+namespace op2ca::core::detail {
+namespace {
+
+/// Dats whose level-1 halo must be refreshed before this loop runs.
+std::vector<mesh::dat_id> dats_needing_exchange(RankState& st,
+                                                const LoopRecord& rec) {
+  const bool exec_halo = loop_executes_exec_halo(rec);
+  std::vector<mesh::dat_id> out;
+  for (const auto& [dat, m] : merge_loop_accesses(rec.spec)) {
+    if (!reads_value(m.mode)) continue;
+    // Direct reads only touch halo elements when the loop executes them.
+    if (!m.indirect && !exec_halo) continue;
+    if (st.rank_dat(dat).fresh_depth >= 1) continue;
+    out.push_back(dat);
+  }
+  return out;
+}
+
+}  // namespace
+
+LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
+  WallTimer timer;
+  const halo::RankPlan& rp = st.rank_plan();
+  const halo::SetLayout& lay = st.layout(rec.set);
+  const mesh::MeshDef& mesh = st.world->mesh();
+  st.comm.stats().reset_epoch();
+
+  // Snapshot global-INC buffers before any iteration runs.
+  GblIncState snap = snapshot_gbl_incs(rec);
+
+  // -- 1. Post halo exchanges (MPI_Isend / MPI_Irecv of Alg 1). --------
+  const std::vector<mesh::dat_id> exch = dats_needing_exchange(st, rec);
+  std::vector<sim::Request> requests;
+  // deque: irecv stores a pointer to its buffer, so no reallocation.
+  std::deque<std::vector<std::byte>> recv_buffers;
+  // (dat, neighbour, exec?) per recv buffer, to unpack after the wait.
+  std::vector<std::tuple<mesh::dat_id, rank_t, bool>> recv_info;
+
+  for (mesh::dat_id d : exch) {
+    const mesh::DatDef& dd = mesh.dat(d);
+    RankDat& rd = st.rank_dat(d);
+    const halo::NeighborLists& nl =
+        rp.lists[static_cast<std::size_t>(dd.set)];
+    const sim::tag_t tag_exec = kLoopTagBase + d * 2;
+    const sim::tag_t tag_nonexec = kLoopTagBase + d * 2 + 1;
+
+    auto send_lists = [&](const std::map<rank_t, std::vector<LIdxVec>>& tab,
+                          sim::tag_t tag) {
+      for (const auto& [q, layers] : tab) {
+        const LIdxVec& idx = layers[0];  // level 1
+        if (idx.empty()) continue;
+        std::vector<std::byte> buf;
+        halo::pack_rows(rd.data.data(), rd.dim, idx, &buf);
+        requests.push_back(st.comm.isend(q, tag, buf));
+      }
+    };
+    auto recv_lists = [&](const std::map<rank_t, std::vector<LIdxVec>>& tab,
+                          sim::tag_t tag, bool exec) {
+      for (const auto& [q, layers] : tab) {
+        if (layers[0].empty()) continue;
+        recv_buffers.emplace_back();
+        recv_info.emplace_back(d, q, exec);
+        requests.push_back(st.comm.irecv(q, tag, &recv_buffers.back()));
+      }
+    };
+    send_lists(nl.exp_exec, tag_exec);
+    send_lists(nl.exp_nonexec, tag_nonexec);
+    recv_lists(nl.imp_exec, tag_exec, true);
+    recv_lists(nl.imp_nonexec, tag_nonexec, false);
+  }
+
+  const double t_pack = timer.elapsed();
+
+  // -- 2. Core iterations overlap with the exchange. -------------------
+  const lidx_t core_end = lay.core_count(1);
+  std::int64_t core_iters = run_range(rec, 0, core_end);
+  const double t_core = timer.elapsed();
+
+  // -- 3. MPI_Wait + unpack. -------------------------------------------
+  st.comm.wait_all(requests);
+  for (std::size_t i = 0; i < recv_buffers.size(); ++i) {
+    const auto [d, q, exec] = recv_info[i];
+    const mesh::DatDef& dd = mesh.dat(d);
+    RankDat& rd = st.rank_dat(d);
+    const halo::NeighborLists& nl =
+        rp.lists[static_cast<std::size_t>(dd.set)];
+    const auto& tab = exec ? nl.imp_exec : nl.imp_nonexec;
+    const LIdxVec& idx = tab.at(q)[0];
+    const std::size_t used =
+        halo::unpack_rows(rd.data.data(), rd.dim, idx, recv_buffers[i], 0);
+    OP2CA_ASSERT(used == recv_buffers[i].size(),
+                 "level-1 halo payload size mismatch");
+  }
+  for (mesh::dat_id d : exch)
+    st.rank_dat(d).fresh_depth = std::max(st.rank_dat(d).fresh_depth, 1);
+
+  const double t_wait = timer.elapsed();
+
+  // -- 4. Owned boundary + level-1 import-exec halo. --------------------
+  std::int64_t halo_iters = run_range(rec, core_end, lay.num_owned);
+  if (loop_executes_exec_halo(rec)) {
+    const auto [b, e] = lay.exec_layer(1);
+    halo_iters += run_range(rec, b, e);
+  }
+
+  // -- 5. Global reductions (synchronisation point). --------------------
+  if (!snap.snapshots.empty()) {
+    // Deltas were accumulated over owned iterations only (no exec halo
+    // runs for gbl-INC loops; enforced at submit).
+    reduce_gbl_incs(st, rec, snap);
+  }
+
+  // -- 6. Dirty bits: written dats' halo copies are stale. --------------
+  for (const auto& [dat, m] : merge_loop_accesses(rec.spec))
+    if (writes(m.mode)) st.rank_dat(dat).fresh_depth = 0;
+
+  LoopMetrics metrics;
+  metrics.calls = 1;
+  metrics.core_iters = core_iters;
+  metrics.halo_iters = halo_iters;
+  metrics.msgs = st.comm.stats().epoch_msgs_sent;
+  metrics.bytes = st.comm.stats().epoch_bytes_sent;
+  metrics.max_msg_bytes = st.comm.stats().epoch_max_msg_bytes;
+  metrics.max_rank_bytes = st.comm.stats().epoch_bytes_sent;
+  metrics.max_neighbors =
+      static_cast<int>(st.comm.stats().epoch_neighbors.size());
+  metrics.wall_seconds = timer.elapsed();
+  metrics.pack_seconds = t_pack;
+  metrics.core_seconds = t_core - t_pack;
+  metrics.wait_seconds = t_wait - t_core;
+  metrics.halo_seconds = metrics.wall_seconds - t_wait;
+
+  LoopMetrics& agg = st.loop_metrics[rec.name];
+  const std::int64_t prev_calls = agg.calls;
+  agg.merge_from(metrics);
+  agg.calls = prev_calls + 1;
+  return metrics;
+}
+
+}  // namespace op2ca::core::detail

@@ -1,0 +1,43 @@
+// Loop submission: dispatches to immediate OP2 execution or chain capture.
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::core {
+
+void Runtime::submit(detail::LoopRecord rec) {
+  // Validate global-INC constraints: the redundant execution of exec
+  // halos would double-count contributions, so loops that reduce into a
+  // global may not also write through a map.
+  bool has_gbl_inc = false;
+  for (const Arg& a : rec.args)
+    has_gbl_inc |= a.kind == Arg::Kind::Gbl && a.mode == Access::INC;
+  if (has_gbl_inc) {
+    OP2CA_REQUIRE(!rec.spec.has_indirect_write(),
+                  "par_loop '" + rec.name +
+                      "': global INC cannot be combined with indirect "
+                      "writes (owner-compute would double-count)");
+    OP2CA_REQUIRE(!state_->capturing,
+                  "par_loop '" + rec.name +
+                      "': global reductions are synchronisation points and "
+                      "cannot appear inside a loop-chain");
+  }
+
+  if (state_->capturing) {
+    state_->chain_loops.push_back(std::move(rec));
+    return;
+  }
+  if (world_->config().lazy) {
+    if (has_gbl_inc) {
+      // Global reductions are synchronisation points: drain the queue,
+      // then run the reducing loop immediately.
+      detail::flush_lazy(*state_);
+      detail::execute_loop_op2(*state_, rec);
+      return;
+    }
+    state_->lazy_queue.push_back(std::move(rec));
+    return;
+  }
+  detail::execute_loop_op2(*state_, rec);
+}
+
+}  // namespace op2ca::core

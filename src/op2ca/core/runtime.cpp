@@ -1,0 +1,249 @@
+#include "op2ca/core/runtime.hpp"
+
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::core {
+
+const char* access_name(Access a) {
+  switch (a) {
+    case Access::READ: return "READ";
+    case Access::WRITE: return "WRITE";
+    case Access::RW: return "RW";
+    case Access::INC: return "INC";
+  }
+  return "?";
+}
+
+Arg arg_dat(Dat d, Access mode) {
+  Arg a;
+  a.kind = Arg::Kind::DatDirect;
+  a.dat = d.id;
+  a.mode = mode;
+  return a;
+}
+
+Arg arg_dat(Dat d, int idx, Map m, Access mode, bool self_combine) {
+  OP2CA_REQUIRE(!self_combine || mode == Access::RW,
+                "self_combine only applies to RW access");
+  Arg a;
+  a.kind = Arg::Kind::DatIndirect;
+  a.dat = d.id;
+  a.map_idx = idx;
+  a.map = m.id;
+  a.mode = mode;
+  a.self_combine = self_combine;
+  return a;
+}
+
+Arg arg_gbl(double* value, int dim, Access mode) {
+  OP2CA_REQUIRE(mode == Access::READ || mode == Access::INC,
+                "arg_gbl supports READ and INC only");
+  OP2CA_REQUIRE(value != nullptr && dim > 0, "arg_gbl needs a buffer");
+  Arg a;
+  a.kind = Arg::Kind::Gbl;
+  a.mode = mode;
+  a.gbl = value;
+  a.gbl_dim = dim;
+  return a;
+}
+
+void LoopMetrics::merge_from(const LoopMetrics& other) {
+  calls = std::max(calls, other.calls);  // same on every rank (SPMD)
+  core_iters += other.core_iters;
+  halo_iters += other.halo_iters;
+  msgs += other.msgs;
+  bytes += other.bytes;
+  max_msg_bytes = std::max(max_msg_bytes, other.max_msg_bytes);
+  max_rank_bytes = std::max(max_rank_bytes, other.max_rank_bytes);
+  max_neighbors = std::max(max_neighbors, other.max_neighbors);
+  wall_seconds += other.wall_seconds;
+  pack_seconds += other.pack_seconds;
+  core_seconds += other.core_seconds;
+  wait_seconds += other.wait_seconds;
+  halo_seconds += other.halo_seconds;
+}
+
+namespace detail {
+
+double* resolve_arg(const ResolvedArg& a, lidx_t i, bool validate) {
+  if (a.is_gbl) return a.base;
+  if (a.map_targets == nullptr)
+    return a.base + static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(a.dim);
+  const lidx_t t =
+      a.map_targets[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(a.arity) +
+                    static_cast<std::size_t>(a.idx)];
+  if (validate)
+    OP2CA_REQUIRE(t != kInvalidLocal,
+                  "par_loop touched an element outside the local region "
+                  "(halo depth too small for this access pattern)");
+  return a.base + static_cast<std::size_t>(t) *
+                      static_cast<std::size_t>(a.dim);
+}
+
+bool loop_executes_exec_halo(const LoopRecord& rec) {
+  return rec.spec.has_indirect_write();
+}
+
+GblIncState snapshot_gbl_incs(const LoopRecord& rec) {
+  GblIncState snap;
+  for (const Arg& a : rec.args) {
+    if (a.kind == Arg::Kind::Gbl && a.mode == Access::INC) {
+      std::vector<double> vals(a.gbl, a.gbl + a.gbl_dim);
+      snap.snapshots.emplace_back(a.gbl, std::move(vals));
+    }
+  }
+  return snap;
+}
+
+void reduce_gbl_incs(RankState& st, const LoopRecord& rec,
+                     const GblIncState& snap) {
+  (void)rec;
+  for (const auto& [ptr, before] : snap.snapshots) {
+    for (std::size_t k = 0; k < before.size(); ++k) {
+      const double delta = ptr[k] - before[k];
+      const double total = st.comm.allreduce_sum(delta);
+      ptr[k] = before[k] + total;
+    }
+  }
+}
+
+}  // namespace detail
+
+Runtime::Runtime(World* world, detail::RankState* state)
+    : world_(world), state_(state) {}
+
+rank_t Runtime::rank() const { return state_->rank; }
+int Runtime::nranks() const { return world_->config().nranks; }
+const mesh::MeshDef& Runtime::mesh() const { return world_->mesh(); }
+
+Set Runtime::set(const std::string& name) const {
+  const auto id = world_->mesh().find_set(name);
+  OP2CA_REQUIRE(id.has_value(), "unknown set: " + name);
+  return Set{*id};
+}
+
+Map Runtime::map(const std::string& name) const {
+  const auto id = world_->mesh().find_map(name);
+  OP2CA_REQUIRE(id.has_value(), "unknown map: " + name);
+  return Map{*id};
+}
+
+Dat Runtime::dat(const std::string& name) const {
+  const auto id = world_->mesh().find_dat(name);
+  OP2CA_REQUIRE(id.has_value(), "unknown dat: " + name);
+  return Dat{*id};
+}
+
+double* Runtime::dat_data(Dat d) {
+  detail::flush_lazy(*state_);  // direct data access is a sync point
+  return state_->rank_dat(d.id).data.data();
+}
+
+const halo::SetLayout& Runtime::layout(Set s) const {
+  return state_->layout(s.id);
+}
+
+sim::Comm& Runtime::comm() {
+  detail::flush_lazy(*state_);  // collectives are sync points
+  return state_->comm;
+}
+
+void Runtime::barrier() {
+  detail::flush_lazy(*state_);
+  state_->comm.barrier();
+}
+
+bool Runtime::validation_enabled() const { return world_->config().validate; }
+
+detail::LoopRecord Runtime::make_record(const std::string& name, Set s,
+                                        std::vector<Arg> args) {
+  const mesh::MeshDef& mesh = world_->mesh();
+  OP2CA_REQUIRE(s.id >= 0 && s.id < mesh.num_sets(),
+                "par_loop '" + name + "': invalid set");
+
+  detail::LoopRecord rec;
+  rec.name = name;
+  rec.set = s.id;
+  rec.spec.name = name;
+  rec.spec.set = s.id;
+  rec.args = std::move(args);
+  rec.rargs.reserve(rec.args.size());
+  rec.spec.args.reserve(rec.args.size());
+
+  for (const Arg& a : rec.args) {
+    detail::ResolvedArg ra;
+    ArgSpec as;
+    switch (a.kind) {
+      case Arg::Kind::Gbl: {
+        ra.base = a.gbl;
+        ra.dim = a.gbl_dim;
+        ra.is_gbl = true;
+        as.dat = -1;
+        as.mode = a.mode;
+        as.indirect = false;
+        break;
+      }
+      case Arg::Kind::DatDirect: {
+        const mesh::DatDef& dd = mesh.dat(a.dat);
+        OP2CA_REQUIRE(dd.set == s.id,
+                      "par_loop '" + name + "': direct arg dat '" + dd.name +
+                          "' does not live on the iteration set");
+        detail::RankDat& rd = state_->rank_dat(a.dat);
+        ra.base = rd.data.data();
+        ra.dim = rd.dim;
+        as.dat = a.dat;
+        as.mode = a.mode;
+        as.indirect = false;
+        break;
+      }
+      case Arg::Kind::DatIndirect: {
+        const mesh::DatDef& dd = mesh.dat(a.dat);
+        const mesh::MapDef& mp = mesh.map(a.map);
+        OP2CA_REQUIRE(mp.from == s.id,
+                      "par_loop '" + name + "': map '" + mp.name +
+                          "' does not start at the iteration set");
+        OP2CA_REQUIRE(mp.to == dd.set,
+                      "par_loop '" + name + "': map '" + mp.name +
+                          "' does not land on dat '" + dd.name + "' set");
+        OP2CA_REQUIRE(a.map_idx >= 0 && a.map_idx < mp.arity,
+                      "par_loop '" + name + "': map index out of arity");
+        detail::RankDat& rd = state_->rank_dat(a.dat);
+        OP2CA_REQUIRE(world_->plan().has_local_maps,
+                      "par_loop '" + name +
+                          "': halo plan was built without local maps");
+        const halo::LocalMap& lm =
+            state_->rank_plan().maps[static_cast<std::size_t>(a.map)];
+        ra.base = rd.data.data();
+        ra.dim = rd.dim;
+        ra.map_targets = lm.targets.data();
+        ra.arity = lm.arity;
+        ra.idx = a.map_idx;
+        as.dat = a.dat;
+        as.mode = a.mode;
+        as.indirect = true;
+        as.map = a.map;
+        as.map_idx = a.map_idx;
+        as.self_combine = a.self_combine;
+        break;
+      }
+    }
+    rec.rargs.push_back(ra);
+    rec.spec.args.push_back(as);
+  }
+  return rec;
+}
+
+const std::vector<detail::ResolvedArg>& Runtime::record_args(
+    const detail::LoopRecord& rec) const {
+  return rec.rargs;
+}
+
+void Runtime::set_body(detail::LoopRecord& rec,
+                       std::function<void(lidx_t)> body) {
+  rec.body = std::move(body);
+}
+
+}  // namespace op2ca::core

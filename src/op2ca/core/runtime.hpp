@@ -1,0 +1,250 @@
+// The op2ca runtime: an OP2-style API over the simulated distributed
+// machine, with both the classic per-loop halo-exchange executor (Alg 1)
+// and the communication-avoiding loop-chain executor (Alg 2).
+//
+// Usage mirrors OP2: a global mesh (sets/maps/dats) is declared once in a
+// MeshDef; a World partitions it over N simulated ranks, builds the
+// multi-layer halo plan, and runs an SPMD function on one thread per
+// rank. Inside the SPMD function, `par_loop` executes kernels over sets
+// with access descriptors; `chain_begin`/`chain_end` bracket a loop-chain
+// that the CA back-end captures, inspects and executes per Alg 2 when the
+// chain is enabled in the ChainConfig.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "op2ca/comm/comm.hpp"
+#include "op2ca/core/access.hpp"
+#include "op2ca/core/chain.hpp"
+#include "op2ca/core/chain_config.hpp"
+#include "op2ca/halo/halo_plan.hpp"
+#include "op2ca/mesh/mesh_def.hpp"
+#include "op2ca/partition/partition.hpp"
+
+namespace op2ca::core {
+
+/// Opaque handles into the World's mesh.
+struct Set {
+  mesh::set_id id = -1;
+};
+struct Map {
+  mesh::map_id id = -1;
+};
+struct Dat {
+  mesh::dat_id id = -1;
+};
+
+/// A par_loop argument (OP2's op_arg_dat / op_arg_gbl).
+struct Arg {
+  enum class Kind { DatDirect, DatIndirect, Gbl };
+  Kind kind = Kind::DatDirect;
+  mesh::dat_id dat = -1;
+  int map_idx = 0;         ///< which map target column (indirect only).
+  mesh::map_id map = -1;   ///< indirect only.
+  Access mode = Access::READ;
+  double* gbl = nullptr;   ///< Gbl only; READ or INC (sum-reduced).
+  int gbl_dim = 0;
+  bool self_combine = false;  ///< see ArgSpec::self_combine.
+};
+
+/// Direct access: the dat element of the current iteration.
+Arg arg_dat(Dat d, Access mode);
+/// Indirect access through map column `idx`. `self_combine` (RW only)
+/// declares that the kernel reads this dat solely at the element it
+/// writes — see ArgSpec::self_combine.
+Arg arg_dat(Dat d, int idx, Map m, Access mode, bool self_combine = false);
+/// Global argument: READ passes a constant, INC sum-reduces across ranks.
+Arg arg_gbl(double* value, int dim, Access mode);
+
+/// Per-loop / per-chain measurements, merged across ranks by the World.
+struct LoopMetrics {
+  std::int64_t calls = 0;
+  std::int64_t core_iters = 0;   ///< iterations overlapped with comms.
+  std::int64_t halo_iters = 0;   ///< owned-boundary + exec-halo iterations.
+  std::int64_t msgs = 0;
+  std::int64_t bytes = 0;
+  std::int64_t max_msg_bytes = 0;    ///< largest single message (max rank).
+  std::int64_t max_rank_bytes = 0;   ///< most bytes sent by one rank/call.
+  int max_neighbors = 0;
+  double wall_seconds = 0;           ///< summed across ranks.
+  // Phase breakdown (wall, summed across ranks): staging the outgoing
+  // halo data, computing cores while messages fly, waiting + unpacking,
+  // and the post-wait boundary/halo compute.
+  double pack_seconds = 0;
+  double core_seconds = 0;
+  double wait_seconds = 0;
+  double halo_seconds = 0;
+
+  void merge_from(const LoopMetrics& other);
+};
+
+class World;
+
+namespace detail {
+struct RankState;
+
+/// Per-argument iteration-time resolution data.
+struct ResolvedArg {
+  double* base = nullptr;
+  const lidx_t* map_targets = nullptr;  ///< null for direct / gbl.
+  int arity = 1;
+  int idx = 0;
+  int dim = 1;
+  bool is_gbl = false;
+};
+
+/// A fully-resolved loop ready to execute (or be captured by a chain).
+struct LoopRecord {
+  std::string name;
+  mesh::set_id set = -1;
+  LoopSpec spec;                    ///< structural view for inspection.
+  std::vector<Arg> args;            ///< original descriptors.
+  std::vector<ResolvedArg> rargs;   ///< iteration-time pointers.
+  std::function<void(lidx_t)> body;
+};
+
+double* resolve_arg(const ResolvedArg& a, lidx_t i, bool validate);
+
+template <typename K, std::size_t... I>
+void invoke_kernel(const K& k, const std::vector<ResolvedArg>& ra, lidx_t i,
+                   bool validate, std::index_sequence<I...>) {
+  k(resolve_arg(ra[I], i, validate)...);
+}
+}  // namespace detail
+
+/// One rank's view of the World inside the SPMD function.
+class Runtime {
+public:
+  rank_t rank() const;
+  int nranks() const;
+  const mesh::MeshDef& mesh() const;
+
+  Set set(const std::string& name) const;
+  Map map(const std::string& name) const;
+  Dat dat(const std::string& name) const;
+  Set set(mesh::set_id id) const { return Set{id}; }
+  Dat dat(mesh::dat_id id) const { return Dat{id}; }
+
+  /// Local (renumbered) data array of a dat on this rank; layout per the
+  /// halo plan. Intended for initialization and inspection in tests.
+  double* dat_data(Dat d);
+  const halo::SetLayout& layout(Set s) const;
+
+  /// Executes (or captures, inside a chain) one parallel loop.
+  template <typename Kernel, typename... Args>
+  void par_loop(const std::string& name, Set s, Kernel&& kernel,
+                Args... args) {
+    static_assert(sizeof...(Args) > 0, "par_loop needs at least one arg");
+    detail::LoopRecord rec =
+        make_record(name, s, std::vector<Arg>{args...});
+    const std::vector<detail::ResolvedArg>& ra = record_args(rec);
+    auto kf = std::forward<Kernel>(kernel);
+    const bool validate = validation_enabled();
+    set_body(rec, [kf, ra, validate](lidx_t i) {
+      detail::invoke_kernel(kf, ra, i, validate,
+                            std::index_sequence_for<Args...>{});
+    });
+    submit(std::move(rec));
+  }
+
+  /// Brackets a loop-chain. If the chain is enabled in the World's
+  /// ChainConfig, loops between begin/end are captured and executed with
+  /// the CA back-end (Alg 2); otherwise they run as standard OP2 loops.
+  void chain_begin(const std::string& name);
+  void chain_end();
+
+  /// Direct access to this rank's communicator (collectives, barrier).
+  sim::Comm& comm();
+  void barrier();
+
+  /// Lazy mode: flushes any queued loops now (no-op otherwise).
+  void flush();
+
+private:
+  friend class World;
+  Runtime(World* world, detail::RankState* state);
+
+  detail::LoopRecord make_record(const std::string& name, Set s,
+                                 std::vector<Arg> args);
+  const std::vector<detail::ResolvedArg>& record_args(
+      const detail::LoopRecord& rec) const;
+  void set_body(detail::LoopRecord& rec, std::function<void(lidx_t)> body);
+  void submit(detail::LoopRecord rec);
+  bool validation_enabled() const;
+
+  World* world_;
+  detail::RankState* state_;
+};
+
+struct WorldConfig {
+  int nranks = 4;
+  partition::Kind partitioner = partition::Kind::KWay;
+  /// Set partitioned directly; others derive through maps. Empty = set 0.
+  std::string seed_set;
+  int halo_depth = 2;
+  sim::CostModel cost{};
+  /// Per-iteration checks that every touched element is locally present.
+  bool validate = false;
+  ChainConfig chains{};
+  /// Lazy evaluation (the paper's future-work automation): par_loops are
+  /// queued instead of executed, and flushed as an automatically-formed
+  /// CA chain at the next synchronisation point (global reduction,
+  /// explicit chain_begin, barrier/collective, dat access, or the end of
+  /// the SPMD function). Chains that the inspector rejects or that need
+  /// more halo depth than available fall back to per-loop execution.
+  /// Caveat: deferred loops hold pointers to arg_gbl READ buffers, which
+  /// must stay alive until the next synchronisation point.
+  bool lazy = false;
+};
+
+/// The simulated distributed machine: owns the mesh, partition, halo plan
+/// and per-rank state, and runs SPMD functions over rank threads.
+class World {
+public:
+  World(mesh::MeshDef mesh, WorldConfig cfg);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Runs `spmd` once on every rank (one thread per rank). May be called
+  /// repeatedly; dat values persist between runs. Exceptions thrown by
+  /// any rank are collected and rethrown on the calling thread.
+  void run(const std::function<void(Runtime&)>& spmd);
+
+  /// Gathers the owned values of a dat into global element order.
+  std::vector<double> fetch_dat(mesh::dat_id d) const;
+  /// Overwrites a dat's values everywhere (owned + halo copies refreshed).
+  void reset_dat(mesh::dat_id d, const std::vector<double>& global_data);
+
+  const mesh::MeshDef& mesh() const { return mesh_; }
+  const WorldConfig& config() const { return cfg_; }
+  const partition::Partition& partition() const { return part_; }
+  const halo::HaloPlan& plan() const { return plan_; }
+
+  /// Metrics merged over ranks, keyed by loop / chain name.
+  std::map<std::string, LoopMetrics> loop_metrics() const;
+  std::map<std::string, LoopMetrics> chain_metrics() const;
+  void clear_metrics();
+  /// Writes every loop and chain metric as CSV (one row per name).
+  void write_metrics_csv(std::ostream& os) const;
+
+private:
+  friend class Runtime;
+  friend struct detail::RankState;
+
+  mesh::MeshDef mesh_;
+  WorldConfig cfg_;
+  partition::Partition part_;
+  halo::HaloPlan plan_;
+  std::unique_ptr<sim::Transport> transport_;
+  std::vector<std::unique_ptr<detail::RankState>> ranks_;
+};
+
+}  // namespace op2ca::core

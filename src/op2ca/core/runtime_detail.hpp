@@ -1,0 +1,99 @@
+// Internal runtime structures shared by the executors. Not part of the
+// public API.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "op2ca/core/runtime.hpp"
+
+namespace op2ca::core::detail {
+
+/// Reserved message tags (user collectives use negative tags; these are
+/// distinct positive ranges).
+inline constexpr sim::tag_t kChainTag = 512;
+inline constexpr sim::tag_t kLoopTagBase = 1024;  // + dat*2 + class.
+
+/// One dat's per-rank storage.
+struct RankDat {
+  int dim = 0;
+  std::vector<double> data;  ///< layout order (owned | exec | nonexec).
+  /// Halo layers currently in sync with the owners; 0 = level-1 halo
+  /// stale. This generalizes the paper's dirty bit to multi-layer halos.
+  int fresh_depth = 0;
+};
+
+struct RankState {
+  World* world = nullptr;
+  rank_t rank = -1;
+  sim::Comm comm;
+  std::vector<RankDat> dats;
+
+  // Chain capture.
+  bool capturing = false;
+  std::string chain_name;
+  std::vector<LoopRecord> chain_loops;
+
+  // Lazy-evaluation queue (WorldConfig::lazy): loops deferred until the
+  // next synchronisation point, then flushed as an auto-formed chain.
+  std::vector<LoopRecord> lazy_queue;
+  int lazy_flushes = 0;
+
+  // Inspection cache, keyed by chain name.
+  std::map<std::string, ChainAnalysis> chain_cache;
+  // Per-chain needed import-exec iteration lists (sparse-tiling slice),
+  // keyed by chain name.
+  std::map<std::string, std::vector<LIdxVec>> chain_exec_lists;
+
+  // Per-rank metrics, merged by the World after each run.
+  std::map<std::string, LoopMetrics> loop_metrics;
+  std::map<std::string, LoopMetrics> chain_metrics;
+
+  RankState(World* w, sim::Transport& transport, rank_t r);
+
+  const halo::RankPlan& rank_plan() const;
+  const halo::SetLayout& layout(mesh::set_id s) const;
+  RankDat& rank_dat(mesh::dat_id d);
+
+  /// Re-gathers a dat's local copy from a global array (owned + halos).
+  void refresh_dat_from_global(mesh::dat_id d,
+                               const std::vector<double>& global_data);
+};
+
+/// Executes one loop with the classic OP2 executor (Alg 1). Returns the
+/// metrics of this single execution (also accumulated into
+/// st.loop_metrics under the loop's name).
+LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec);
+
+/// Executes a captured chain with the CA executor (Alg 2).
+void execute_chain_ca(RankState& st, const std::string& name,
+                      std::vector<LoopRecord>& loops);
+
+/// Flushes the lazy queue: >= 2 queued loops become an automatically
+/// formed chain executed with CA when the inspector accepts it and the
+/// halo plan is deep enough; otherwise (or for a single loop) the queue
+/// executes as plain OP2 loops. Chain names are "lazy:<signature>" so
+/// repeated program phases reuse cached analyses.
+void flush_lazy(RankState& st);
+
+/// Shared: runs `body` over the local index range [begin, end).
+inline std::int64_t run_range(const LoopRecord& rec, lidx_t begin,
+                              lidx_t end) {
+  for (lidx_t i = begin; i < end; ++i) rec.body(i);
+  return end > begin ? end - begin : 0;
+}
+
+/// True when the loop must redundantly execute import-exec halo layers
+/// under owner-compute (it writes through a map).
+bool loop_executes_exec_halo(const LoopRecord& rec);
+
+/// Snapshot/restore helpers for global INC arguments.
+struct GblIncState {
+  std::vector<std::pair<double*, std::vector<double>>> snapshots;
+};
+GblIncState snapshot_gbl_incs(const LoopRecord& rec);
+void reduce_gbl_incs(RankState& st, const LoopRecord& rec,
+                     const GblIncState& snap);
+
+}  // namespace op2ca::core::detail

@@ -1,0 +1,36 @@
+// Per-chain backward slicing of the exec halo — the list-building half
+// of the sparse-tiling inspection (the paper's restructure_elements).
+//
+// The halo plan's exec layers are app-global: they cover every map in
+// the mesh, so a chain that uses only e2n would, executed over raw layer
+// ranges, redundantly run iterations that exist solely because of other
+// maps (e.g. multigrid inter-level connectivity). This pass walks the
+// chain backward over the rank's LOCAL maps and keeps exactly the
+// import-exec iterations whose execution matters:
+//
+//   * owner-compute: an import iteration writing (through a chain map)
+//     into an owned element, or
+//   * regeneration: writing into a halo element some later chain loop's
+//     needed iteration reads.
+//
+// The returned lists are subsets of the structural exec layers
+// 1..HE_l, so all sync-depth guarantees of the layered analysis hold.
+#pragma once
+
+#include <vector>
+
+#include "op2ca/core/chain.hpp"
+#include "op2ca/halo/halo_plan.hpp"
+
+namespace op2ca::core {
+
+/// Local indices of the import-exec iterations each loop must execute on
+/// this rank (empty for loops with exec_halo[l] == false). Requires a
+/// plan built with local maps.
+std::vector<LIdxVec> needed_exec_lists(const mesh::MeshDef& mesh,
+                                       const halo::RankPlan& rp,
+                                       int plan_depth,
+                                       const ChainSpec& spec,
+                                       const ChainAnalysis& analysis);
+
+}  // namespace op2ca::core

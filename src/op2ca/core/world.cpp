@@ -1,0 +1,144 @@
+#include <exception>
+#include <ostream>
+#include <mutex>
+#include <thread>
+
+#include "op2ca/core/runtime_detail.hpp"
+#include "op2ca/halo/renumber.hpp"
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/log.hpp"
+#include "op2ca/util/table.hpp"
+
+namespace op2ca::core {
+
+World::World(mesh::MeshDef mesh, WorldConfig cfg)
+    : mesh_(std::move(mesh)), cfg_(std::move(cfg)) {
+  OP2CA_REQUIRE(cfg_.nranks >= 1, "World needs nranks >= 1");
+  OP2CA_REQUIRE(mesh_.num_sets() > 0, "World needs a non-empty mesh");
+
+  mesh::set_id seed = 0;
+  if (!cfg_.seed_set.empty()) {
+    const auto id = mesh_.find_set(cfg_.seed_set);
+    OP2CA_REQUIRE(id.has_value(), "unknown seed set: " + cfg_.seed_set);
+    seed = *id;
+  }
+
+  part_ = partition::partition_mesh(mesh_, cfg_.nranks, cfg_.partitioner,
+                                    seed);
+
+  halo::HaloPlanOptions opts;
+  opts.depth = cfg_.halo_depth;
+  opts.build_local_maps = true;
+  plan_ = halo::build_halo_plan(mesh_, part_, opts);
+
+  transport_ = std::make_unique<sim::Transport>(cfg_.nranks);
+  ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
+  for (rank_t r = 0; r < cfg_.nranks; ++r)
+    ranks_.push_back(
+        std::make_unique<detail::RankState>(this, *transport_, r));
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Runtime&)>& spmd) {
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](detail::RankState* state) {
+    try {
+      Runtime rt(this, state);
+      spmd(rt);
+      detail::flush_lazy(*state);  // drain any deferred loops
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // Wake peers blocked in matches/barriers so the run can unwind.
+      transport_->poison();
+    }
+  };
+
+  if (cfg_.nranks == 1) {
+    rank_main(ranks_[0].get());
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(ranks_.size());
+    for (auto& state : ranks_)
+      threads.emplace_back(rank_main, state.get());
+    for (auto& t : threads) t.join();
+  }
+
+  if (first_error) {
+    // A failed rank may leave peers blocked in matches that will never
+    // complete only if they also depend on it; joining above succeeded,
+    // so all ranks have returned (errored ranks threw out of their SPMD
+    // body). Surface the first error.
+    std::rethrow_exception(first_error);
+  }
+}
+
+std::vector<double> World::fetch_dat(mesh::dat_id d) const {
+  const mesh::DatDef& dd = mesh_.dat(d);
+  std::vector<double> out(static_cast<std::size_t>(
+      mesh_.set(dd.set).size * dd.dim));
+  for (const auto& state : ranks_) {
+    const halo::SetLayout& lay =
+        plan_.layout(state->rank, dd.set);
+    halo::scatter_owned(state->dats[static_cast<std::size_t>(d)].data,
+                        dd.dim, lay, &out);
+  }
+  return out;
+}
+
+void World::reset_dat(mesh::dat_id d, const std::vector<double>& global) {
+  const mesh::DatDef& dd = mesh_.dat(d);
+  OP2CA_REQUIRE(static_cast<gidx_t>(global.size()) ==
+                    mesh_.set(dd.set).size * dd.dim,
+                "reset_dat: size mismatch for dat " + dd.name);
+  for (auto& state : ranks_) state->refresh_dat_from_global(d, global);
+}
+
+std::map<std::string, LoopMetrics> World::loop_metrics() const {
+  std::map<std::string, LoopMetrics> merged;
+  for (const auto& state : ranks_)
+    for (const auto& [name, m] : state->loop_metrics)
+      merged[name].merge_from(m);
+  return merged;
+}
+
+std::map<std::string, LoopMetrics> World::chain_metrics() const {
+  std::map<std::string, LoopMetrics> merged;
+  for (const auto& state : ranks_)
+    for (const auto& [name, m] : state->chain_metrics)
+      merged[name].merge_from(m);
+  return merged;
+}
+
+void World::write_metrics_csv(std::ostream& os) const {
+  Table t;
+  t.set_header({"kind", "name", "calls", "core_iters", "halo_iters",
+                "msgs", "bytes", "max_msg_bytes", "max_neighbors",
+                "wall_s", "pack_s", "core_s", "wait_s", "halo_s"});
+  t.set_precision(6);
+  auto add = [&t](const std::string& kind, const std::string& name,
+                  const LoopMetrics& m) {
+    t.add_row({kind, name, m.calls, m.core_iters, m.halo_iters, m.msgs,
+               m.bytes, m.max_msg_bytes,
+               static_cast<std::int64_t>(m.max_neighbors), m.wall_seconds,
+               m.pack_seconds, m.core_seconds, m.wait_seconds,
+               m.halo_seconds});
+  };
+  for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
+  for (const auto& [name, m] : chain_metrics()) add("chain", name, m);
+  t.write_csv(os);
+}
+
+void World::clear_metrics() {
+  for (auto& state : ranks_) {
+    state->loop_metrics.clear();
+    state->chain_metrics.clear();
+  }
+}
+
+}  // namespace op2ca::core

@@ -1,0 +1,46 @@
+#include "op2ca/gpu/device.hpp"
+
+#include <cstring>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::gpu {
+
+void DeviceBuffer::upload(const double* host, std::size_t offset,
+                          std::size_t count) {
+  OP2CA_REQUIRE(offset + count <= device_.size(),
+                "DeviceBuffer::upload out of range");
+  std::memcpy(device_.data() + offset, host, count * sizeof(double));
+  ++uploads_;
+  bytes_moved_ += static_cast<std::int64_t>(count * sizeof(double));
+}
+
+void DeviceBuffer::download(double* host, std::size_t offset,
+                            std::size_t count) const {
+  OP2CA_REQUIRE(offset + count <= device_.size(),
+                "DeviceBuffer::download out of range");
+  std::memcpy(host, device_.data() + offset, count * sizeof(double));
+  ++downloads_;
+  bytes_moved_ += static_cast<std::int64_t>(count * sizeof(double));
+}
+
+DeviceBuffer& Device::allocate(std::size_t n) {
+  buffers_.emplace_back(n);
+  return buffers_.back();
+}
+
+void Device::upload(DeviceBuffer& buf, const double* host,
+                    std::size_t offset, std::size_t count) {
+  buf.upload(host, offset, count);
+  clock_.advance(pcie_.transfer_time(
+      static_cast<std::int64_t>(count * sizeof(double))));
+}
+
+void Device::download(const DeviceBuffer& buf, double* host,
+                      std::size_t offset, std::size_t count) {
+  buf.download(host, offset, count);
+  clock_.advance(pcie_.transfer_time(
+      static_cast<std::int64_t>(count * sizeof(double))));
+}
+
+}  // namespace op2ca::gpu

@@ -1,0 +1,428 @@
+// Halo plan construction.
+//
+// Per rank, a layered classification BFS over the global mesh assigns
+// every element reachable from the owned region a class:
+//
+//   owned            -- partition assignment says so
+//   exec layer k     -- foreign element whose forward map targets reach
+//                       the region E_{k-1}; executing it redundantly
+//                       updates data the rank needs (paper's ieh level k)
+//   nonexec layer k  -- read-only fringe: map target of an owned (k = 1)
+//                       or layer-k exec element, outside the region
+//                       (paper's inh level k)
+//
+// E_k = owned u exec(<=k) u nonexec(<=k). A nonexec element later found
+// to map into the region is promoted to exec at that layer (possible for
+// sets that are both map sources and targets, e.g. cells).
+//
+// Owned elements are ordered by decreasing inward distance din (BFS from
+// the partition boundary over symmetric adjacency), so shrinking cores
+// are prefixes. Imports are ordered by (layer, global id); export lists
+// on the owner mirror the importer's order exactly.
+#include <algorithm>
+#include <unordered_map>
+
+#include "op2ca/halo/halo_plan.hpp"
+#include "op2ca/halo/renumber.hpp"
+#include "op2ca/mesh/adjacency.hpp"
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/log.hpp"
+
+namespace op2ca::halo {
+namespace {
+
+/// Classification code: 0 = owned, +k = exec layer k, -k = nonexec layer k.
+using ClsMap = std::unordered_map<gidx_t, int>;
+
+/// Elements promoted from nonexec layer k to a deeper exec layer. They
+/// keep an alias entry in the nonexec import/export lists at their
+/// original layer k: iterations of layer k read them, so a level-k halo
+/// exchange must still deliver their values even though their local slot
+/// lives in the exec segment. (Arises when a set is both map source and
+/// target, e.g. multigrid nodes reached first as a read fringe and later
+/// as redundant work.)
+struct Promotion {
+  mesh::set_id set;
+  gidx_t gid;
+  int read_layer;  ///< original nonexec layer.
+};
+
+struct Frontier {
+  std::vector<std::pair<mesh::set_id, gidx_t>> elems;
+};
+
+struct GlobalContext {
+  const mesh::MeshDef* mesh;
+  const partition::Partition* part;
+  std::vector<mesh::Csr> reverse;                 ///< per map id.
+  std::vector<std::vector<GIdxVec>> owned;        ///< [rank][set] gids.
+  /// owned_local_idx[set][gid] = local index on the owning rank (filled
+  /// as each rank's layout is finalized; used for export registration).
+  std::vector<LIdxVec> owned_local_idx;
+  /// Per-set map indices, so the per-element BFS loops do not scan every
+  /// map of the mesh (the builder's hottest paths).
+  std::vector<std::vector<mesh::map_id>> maps_from;  ///< [set].
+  std::vector<std::vector<mesh::map_id>> maps_to;    ///< [set].
+};
+
+/// Walks one rank's classification BFS up to `depth` layers. Appends any
+/// nonexec-to-exec promotions to `promotions`.
+std::vector<ClsMap> classify_rank(const GlobalContext& ctx, rank_t r,
+                                  int depth,
+                                  std::vector<Promotion>* promotions) {
+  const mesh::MeshDef& mesh = *ctx.mesh;
+  const int nsets = mesh.num_sets();
+  std::vector<ClsMap> cls(static_cast<std::size_t>(nsets));
+
+  Frontier frontier;
+  for (mesh::set_id s = 0; s < nsets; ++s) {
+    for (gidx_t g : ctx.owned[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(s)]) {
+      cls[static_cast<std::size_t>(s)].emplace(g, 0);
+      frontier.elems.emplace_back(s, g);
+    }
+  }
+
+  for (int layer = 1; layer <= depth; ++layer) {
+    Frontier next;
+
+    // Phase 1: exec discovery. Any unclassified (or nonexec) element with
+    // a forward map target in the frontier's region joins exec layer
+    // `layer`. Reverse incidence of frontier elements enumerates exactly
+    // those candidates.
+    std::vector<std::pair<mesh::set_id, gidx_t>> new_exec;
+    for (const auto& [ts, tg] : frontier.elems) {
+      for (mesh::map_id m : ctx.maps_to[static_cast<std::size_t>(ts)]) {
+        const mesh::MapDef& mp = mesh.map(m);
+        for (gidx_t f : ctx.reverse[static_cast<std::size_t>(m)].row(tg)) {
+          auto& fc = cls[static_cast<std::size_t>(mp.from)];
+          auto it = fc.find(f);
+          if (it == fc.end()) {
+            fc.emplace(f, layer);
+            new_exec.emplace_back(mp.from, f);
+          } else if (it->second < 0) {
+            // Promote nonexec fringe element to exec at this layer,
+            // remembering its original read layer for list aliasing.
+            promotions->push_back(Promotion{mp.from, f, -it->second});
+            it->second = layer;
+            new_exec.emplace_back(mp.from, f);
+          }
+        }
+      }
+    }
+
+    // Phase 2: nonexec fringe — unclassified targets of the new exec
+    // elements (and, at layer 1, of all owned from-elements).
+    auto add_targets_of = [&](mesh::set_id fs, gidx_t f) {
+      for (mesh::map_id m : ctx.maps_from[static_cast<std::size_t>(fs)]) {
+        const mesh::MapDef& mp = mesh.map(m);
+        for (int k = 0; k < mp.arity; ++k) {
+          const gidx_t t =
+              mp.targets[static_cast<std::size_t>(f * mp.arity + k)];
+          auto& tc = cls[static_cast<std::size_t>(mp.to)];
+          if (tc.find(t) == tc.end()) {
+            tc.emplace(t, -layer);
+            next.elems.emplace_back(mp.to, t);
+          }
+        }
+      }
+    };
+    if (layer == 1) {
+      for (mesh::set_id s = 0; s < nsets; ++s)
+        for (gidx_t g : ctx.owned[static_cast<std::size_t>(r)]
+                            [static_cast<std::size_t>(s)])
+          add_targets_of(s, g);
+    }
+    for (const auto& [fs, f] : new_exec) add_targets_of(fs, f);
+
+    for (const auto& e : new_exec) next.elems.push_back(e);
+    frontier = std::move(next);
+  }
+
+  return cls;
+}
+
+/// Inward distances of one rank's owned elements, all sets jointly: BFS
+/// from the partition boundary over the bipartite element graph where one
+/// map hop (source <-> target, either direction) is distance 1. These are
+/// the units the CA inspector's core-shrink arithmetic uses: an indirect
+/// access moves exactly one hop, a direct access zero.
+std::vector<std::unordered_map<gidx_t, int>> compute_din_all(
+    const GlobalContext& ctx, rank_t r) {
+  const mesh::MeshDef& mesh = *ctx.mesh;
+  const partition::Partition& part = *ctx.part;
+  const int nsets = mesh.num_sets();
+
+  // Symmetric neighbour visitor across all maps touching an element.
+  auto for_each_neighbor = [&](mesh::set_id es, gidx_t eg, auto&& fn) {
+    for (mesh::map_id m : ctx.maps_from[static_cast<std::size_t>(es)]) {
+      const mesh::MapDef& mp = mesh.map(m);
+      for (int k = 0; k < mp.arity; ++k)
+        fn(mp.to,
+           mp.targets[static_cast<std::size_t>(eg * mp.arity + k)]);
+    }
+    for (mesh::map_id m : ctx.maps_to[static_cast<std::size_t>(es)]) {
+      const mesh::MapDef& mp = mesh.map(m);
+      for (gidx_t f : ctx.reverse[static_cast<std::size_t>(m)].row(eg))
+        fn(mp.from, f);
+    }
+  };
+
+  std::vector<std::unordered_map<gidx_t, int>> din(
+      static_cast<std::size_t>(nsets));
+
+  // Seed: owned elements adjacent to any foreign element have din = 1.
+  std::vector<std::pair<mesh::set_id, gidx_t>> frontier;
+  for (mesh::set_id s = 0; s < nsets; ++s) {
+    for (gidx_t g : ctx.owned[static_cast<std::size_t>(r)]
+                        [static_cast<std::size_t>(s)]) {
+      bool boundary = false;
+      for_each_neighbor(s, g, [&](mesh::set_id ns, gidx_t ng) {
+        if (!boundary && part.owner(ns, ng) != r) boundary = true;
+      });
+      if (boundary) {
+        din[static_cast<std::size_t>(s)].emplace(g, 1);
+        frontier.emplace_back(s, g);
+      }
+    }
+  }
+
+  int level = 1;
+  while (!frontier.empty()) {
+    std::vector<std::pair<mesh::set_id, gidx_t>> next;
+    for (const auto& [s, g] : frontier) {
+      for_each_neighbor(s, g, [&](mesh::set_id ns, gidx_t ng) {
+        if (part.owner(ns, ng) != r) return;
+        auto& dn = din[static_cast<std::size_t>(ns)];
+        if (dn.find(ng) == dn.end()) {
+          dn.emplace(ng, level + 1);
+          next.emplace_back(ns, ng);
+        }
+      });
+    }
+    frontier = std::move(next);
+    ++level;
+    if (level >= SetLayout::kDinCap) break;
+  }
+  return din;
+}
+
+}  // namespace
+
+HaloPlan build_halo_plan(const mesh::MeshDef& mesh,
+                         const partition::Partition& part,
+                         const HaloPlanOptions& options) {
+  OP2CA_REQUIRE(options.depth >= 1, "halo depth must be >= 1");
+  OP2CA_REQUIRE(part.nranks >= 1, "partition has no ranks");
+  OP2CA_REQUIRE(static_cast<int>(part.assignment.size()) == mesh.num_sets(),
+                "partition does not cover all sets");
+
+  const int nsets = mesh.num_sets();
+  const int depth = options.depth;
+
+  GlobalContext ctx;
+  ctx.mesh = &mesh;
+  ctx.part = &part;
+  ctx.reverse.reserve(static_cast<std::size_t>(mesh.num_maps()));
+  ctx.maps_from.assign(static_cast<std::size_t>(nsets), {});
+  ctx.maps_to.assign(static_cast<std::size_t>(nsets), {});
+  for (mesh::map_id m = 0; m < mesh.num_maps(); ++m) {
+    ctx.reverse.push_back(mesh::reverse_map(mesh, m));
+    ctx.maps_from[static_cast<std::size_t>(mesh.map(m).from)].push_back(m);
+    ctx.maps_to[static_cast<std::size_t>(mesh.map(m).to)].push_back(m);
+  }
+
+  ctx.owned.assign(static_cast<std::size_t>(part.nranks),
+                   std::vector<GIdxVec>(static_cast<std::size_t>(nsets)));
+  for (mesh::set_id s = 0; s < nsets; ++s) {
+    const gidx_t n = mesh.set(s).size;
+    for (gidx_t g = 0; g < n; ++g)
+      ctx.owned[static_cast<std::size_t>(part.owner(s, g))]
+          [static_cast<std::size_t>(s)]
+              .push_back(g);
+  }
+
+  ctx.owned_local_idx.assign(static_cast<std::size_t>(nsets), LIdxVec());
+  for (mesh::set_id s = 0; s < nsets; ++s)
+    ctx.owned_local_idx[static_cast<std::size_t>(s)].assign(
+        static_cast<std::size_t>(mesh.set(s).size), kInvalidLocal);
+
+  HaloPlan plan;
+  plan.nranks = part.nranks;
+  plan.depth = depth;
+  plan.has_local_maps = options.build_local_maps;
+  plan.ranks.resize(static_cast<std::size_t>(part.nranks));
+
+  // Pass 1: per-rank classification, layouts and import lists.
+  for (rank_t r = 0; r < part.nranks; ++r) {
+    RankPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+    rp.sets.resize(static_cast<std::size_t>(nsets));
+    rp.lists.resize(static_cast<std::size_t>(nsets));
+
+    std::vector<Promotion> promotions;
+    std::vector<ClsMap> cls = classify_rank(ctx, r, depth, &promotions);
+    std::vector<std::unordered_map<gidx_t, int>> din_all =
+        compute_din_all(ctx, r);
+
+    for (mesh::set_id s = 0; s < nsets; ++s) {
+      SetLayout& lay = rp.sets[static_cast<std::size_t>(s)];
+      NeighborLists& nl = rp.lists[static_cast<std::size_t>(s)];
+
+      // Owned ordering: din descending, global id ascending.
+      const std::unordered_map<gidx_t, int>& din =
+          din_all[static_cast<std::size_t>(s)];
+      const auto& mine = ctx.owned[static_cast<std::size_t>(r)]
+                                  [static_cast<std::size_t>(s)];
+      std::vector<std::pair<int, gidx_t>> owned_sorted;
+      owned_sorted.reserve(mine.size());
+      for (gidx_t g : mine) {
+        const auto it = din.find(g);
+        const int d = it == din.end() ? SetLayout::kDinCap : it->second;
+        owned_sorted.emplace_back(d, g);
+      }
+      std::sort(owned_sorted.begin(), owned_sorted.end(),
+                [](const auto& a, const auto& b) {
+                  if (a.first != b.first) return a.first > b.first;
+                  return a.second < b.second;
+                });
+
+      lay.num_owned = static_cast<lidx_t>(owned_sorted.size());
+      lay.local_to_global.reserve(owned_sorted.size());
+      lay.owned_din.reserve(owned_sorted.size());
+      for (const auto& [d, g] : owned_sorted) {
+        ctx.owned_local_idx[static_cast<std::size_t>(s)]
+                           [static_cast<std::size_t>(g)] =
+            static_cast<lidx_t>(lay.local_to_global.size());
+        lay.local_to_global.push_back(g);
+        lay.owned_din.push_back(d);
+      }
+
+      // Import layers: exec 1..depth then nonexec 1..depth, each sorted
+      // by global id; per-neighbour sublists keep that order.
+      std::vector<GIdxVec> exec_by_layer(static_cast<std::size_t>(depth));
+      std::vector<GIdxVec> nonexec_by_layer(static_cast<std::size_t>(depth));
+      for (const auto& [g, code] : cls[static_cast<std::size_t>(s)]) {
+        if (code > 0)
+          exec_by_layer[static_cast<std::size_t>(code - 1)].push_back(g);
+        else if (code < 0)
+          nonexec_by_layer[static_cast<std::size_t>(-code - 1)].push_back(g);
+      }
+
+      // Local index of each imported element, needed to resolve the
+      // promotion aliases below.
+      std::unordered_map<gidx_t, lidx_t> import_g2l;
+
+      lay.exec_end.assign(static_cast<std::size_t>(depth) + 1,
+                          lay.num_owned);
+      for (int k = 1; k <= depth; ++k) {
+        auto& layer = exec_by_layer[static_cast<std::size_t>(k - 1)];
+        std::sort(layer.begin(), layer.end());
+        for (gidx_t g : layer) {
+          const rank_t owner = part.owner(s, g);
+          auto& lists = nl.imp_exec[owner];
+          if (lists.empty())
+            lists.resize(static_cast<std::size_t>(depth));
+          const auto li = static_cast<lidx_t>(lay.local_to_global.size());
+          lists[static_cast<std::size_t>(k - 1)].push_back(li);
+          import_g2l.emplace(g, li);
+          lay.local_to_global.push_back(g);
+        }
+        lay.exec_end[static_cast<std::size_t>(k)] =
+            static_cast<lidx_t>(lay.local_to_global.size());
+      }
+
+      // Promoted elements re-enter the nonexec lists at their original
+      // read layer as aliases: same local slot (in the exec segment),
+      // but delivered by any exchange of that depth.
+      std::vector<GIdxVec> alias_by_layer(static_cast<std::size_t>(depth));
+      for (const Promotion& p : promotions)
+        if (p.set == s)
+          alias_by_layer[static_cast<std::size_t>(p.read_layer - 1)]
+              .push_back(p.gid);
+
+      lay.nonexec_end.assign(static_cast<std::size_t>(depth) + 1,
+                             lay.exec_end[static_cast<std::size_t>(depth)]);
+      for (int k = 1; k <= depth; ++k) {
+        auto& layer = nonexec_by_layer[static_cast<std::size_t>(k - 1)];
+        auto& aliases = alias_by_layer[static_cast<std::size_t>(k - 1)];
+        std::sort(layer.begin(), layer.end());
+        std::sort(aliases.begin(), aliases.end());
+        auto add_to_list = [&](gidx_t g, lidx_t li) {
+          const rank_t owner = part.owner(s, g);
+          auto& lists = nl.imp_nonexec[owner];
+          if (lists.empty())
+            lists.resize(static_cast<std::size_t>(depth));
+          lists[static_cast<std::size_t>(k - 1)].push_back(li);
+        };
+        for (gidx_t g : layer) {
+          const auto li = static_cast<lidx_t>(lay.local_to_global.size());
+          add_to_list(g, li);
+          lay.local_to_global.push_back(g);
+        }
+        for (gidx_t g : aliases) {
+          const auto it = import_g2l.find(g);
+          OP2CA_ASSERT(it != import_g2l.end(),
+                       "promoted element missing from exec imports");
+          add_to_list(g, it->second);
+        }
+        lay.nonexec_end[static_cast<std::size_t>(k)] =
+            static_cast<lidx_t>(lay.local_to_global.size());
+      }
+
+      lay.total = static_cast<lidx_t>(lay.local_to_global.size());
+
+      for (const auto& [q, lists] : nl.imp_exec) {
+        OP2CA_ASSERT(q != r, "import from self");
+        rp.neighbors.insert(q);
+        (void)lists;
+      }
+      for (const auto& [q, lists] : nl.imp_nonexec) {
+        rp.neighbors.insert(q);
+        (void)lists;
+      }
+    }
+  }
+
+  // Pass 2: export registration. Rank q's import list from owner r maps
+  // one-to-one (same order) onto r's export list toward q.
+  for (rank_t q = 0; q < part.nranks; ++q) {
+    const RankPlan& qp = plan.ranks[static_cast<std::size_t>(q)];
+    for (mesh::set_id s = 0; s < nsets; ++s) {
+      const SetLayout& qlay = qp.sets[static_cast<std::size_t>(s)];
+      const NeighborLists& qnl = qp.lists[static_cast<std::size_t>(s)];
+
+      auto register_exports = [&](const std::map<rank_t,
+                                                 std::vector<LIdxVec>>& imp,
+                                  bool exec) {
+        for (const auto& [owner, layers] : imp) {
+          RankPlan& op = plan.ranks[static_cast<std::size_t>(owner)];
+          NeighborLists& onl = op.lists[static_cast<std::size_t>(s)];
+          auto& exp = exec ? onl.exp_exec[q] : onl.exp_nonexec[q];
+          if (exp.empty()) exp.resize(static_cast<std::size_t>(depth));
+          op.neighbors.insert(q);
+          for (int k = 0; k < depth; ++k) {
+            for (lidx_t li : layers[static_cast<std::size_t>(k)]) {
+              const gidx_t g =
+                  qlay.local_to_global[static_cast<std::size_t>(li)];
+              const lidx_t owner_local =
+                  ctx.owned_local_idx[static_cast<std::size_t>(s)]
+                                     [static_cast<std::size_t>(g)];
+              OP2CA_ASSERT(owner_local != kInvalidLocal,
+                           "imported element has no owner-local index");
+              exp[static_cast<std::size_t>(k)].push_back(owner_local);
+            }
+          }
+        }
+      };
+      register_exports(qnl.imp_exec, /*exec=*/true);
+      register_exports(qnl.imp_nonexec, /*exec=*/false);
+    }
+  }
+
+  // Pass 3: localized maps (optional).
+  if (options.build_local_maps) build_local_maps(mesh, &plan);
+
+  return plan;
+}
+
+}  // namespace op2ca::halo

@@ -1,0 +1,112 @@
+#include "op2ca/halo/grouped.hpp"
+
+#include <cstring>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::halo {
+namespace {
+
+/// Looks up the per-layer list vector for (set, neighbour) or nullptr.
+const std::vector<LIdxVec>* find_lists(
+    const std::map<rank_t, std::vector<LIdxVec>>& table, rank_t q) {
+  const auto it = table.find(q);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+/// Iterates the (dat, class, layer) sequence of a grouped message in the
+/// canonical order shared by sender and receiver.
+template <typename Fn>
+void for_each_segment(const RankPlan& rp, rank_t q,
+                      std::span<const DatSyncSpec> specs, bool exports,
+                      Fn&& fn) {
+  for (const DatSyncSpec& spec : specs) {
+    const NeighborLists& nl =
+        rp.lists[static_cast<std::size_t>(spec.set)];
+    const std::vector<LIdxVec>* exec =
+        find_lists(exports ? nl.exp_exec : nl.imp_exec, q);
+    const std::vector<LIdxVec>* nonexec =
+        find_lists(exports ? nl.exp_nonexec : nl.imp_nonexec, q);
+    for (int k = 1; k <= spec.depth; ++k) {
+      if (exec != nullptr &&
+          k <= static_cast<int>(exec->size()))
+        fn(spec, (*exec)[static_cast<std::size_t>(k - 1)]);
+    }
+    for (int k = 1; k <= spec.depth; ++k) {
+      if (nonexec != nullptr && k <= static_cast<int>(nonexec->size()))
+        fn(spec, (*nonexec)[static_cast<std::size_t>(k - 1)]);
+    }
+  }
+}
+
+}  // namespace
+
+void pack_rows(const double* data, int dim, const LIdxVec& idx,
+               std::vector<std::byte>* out) {
+  const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
+  const std::size_t base = out->size();
+  out->resize(base + idx.size() * row_bytes);
+  std::byte* dst = out->data() + base;
+  for (lidx_t i : idx) {
+    std::memcpy(dst, data + static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(dim),
+                row_bytes);
+    dst += row_bytes;
+  }
+}
+
+std::size_t unpack_rows(double* data, int dim, const LIdxVec& idx,
+                        std::span<const std::byte> in, std::size_t offset) {
+  const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
+  OP2CA_REQUIRE(offset + idx.size() * row_bytes <= in.size(),
+                "unpack_rows: payload too short");
+  const std::byte* src = in.data() + offset;
+  for (lidx_t i : idx) {
+    std::memcpy(data + static_cast<std::size_t>(i) *
+                           static_cast<std::size_t>(dim),
+                src, row_bytes);
+    src += row_bytes;
+  }
+  return offset + idx.size() * row_bytes;
+}
+
+std::map<rank_t, std::int64_t> grouped_message_bytes(
+    const RankPlan& rp, std::span<const DatSyncSpec> specs) {
+  std::map<rank_t, std::int64_t> bytes;
+  for (rank_t q : rp.neighbors) {
+    std::int64_t total = 0;
+    for_each_segment(rp, q, specs, /*exports=*/true,
+                     [&](const DatSyncSpec& spec, const LIdxVec& idx) {
+                       total += static_cast<std::int64_t>(idx.size()) *
+                                spec.dim *
+                                static_cast<std::int64_t>(sizeof(double));
+                     });
+    if (total > 0) bytes[q] = total;
+  }
+  return bytes;
+}
+
+std::vector<std::byte> pack_grouped(const RankPlan& rp, rank_t q,
+                                    std::span<const DatSyncSpec> specs) {
+  std::vector<std::byte> out;
+  for_each_segment(rp, q, specs, /*exports=*/true,
+                   [&](const DatSyncSpec& spec, const LIdxVec& idx) {
+                     pack_rows(spec.data, spec.dim, idx, &out);
+                   });
+  return out;
+}
+
+void unpack_grouped(const RankPlan& rp, rank_t q,
+                    std::span<const DatSyncSpec> specs,
+                    std::span<const std::byte> payload) {
+  std::size_t offset = 0;
+  for_each_segment(rp, q, specs, /*exports=*/false,
+                   [&](const DatSyncSpec& spec, const LIdxVec& idx) {
+                     offset = unpack_rows(spec.data, spec.dim, idx, payload,
+                                          offset);
+                   });
+  OP2CA_REQUIRE(offset == payload.size(),
+                "unpack_grouped: payload size mismatch");
+}
+
+}  // namespace op2ca::halo

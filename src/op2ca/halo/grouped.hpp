@@ -1,0 +1,51 @@
+// Grouped halo message assembly (Fig 8 of the paper): for each neighbour,
+// a single buffer concatenating, per dat, the export-exec layers 1..h_d
+// followed by the export-nonexec layers 1..h_d. Sender and receiver
+// iterate the same (dat, class, layer) sequence over symmetric lists, so
+// offsets agree without any header.
+//
+// The same pack/unpack primitives serve the baseline per-loop exchange
+// (one dat, one layer, exec and nonexec sent as two separate messages —
+// the 2 d p m^1 term of Eq (1)).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "op2ca/halo/halo_plan.hpp"
+
+namespace op2ca::halo {
+
+/// One dat's participation in a grouped exchange.
+struct DatSyncSpec {
+  mesh::set_id set = -1;
+  int dim = 0;
+  int depth = 1;  ///< halo layers to sync (paper's per-dat h_l).
+  /// Local data array of the dat on this rank (layout order).
+  double* data = nullptr;
+};
+
+/// Appends data[idx] rows to `out`.
+void pack_rows(const double* data, int dim, const LIdxVec& idx,
+               std::vector<std::byte>* out);
+
+/// Copies rows from `in` at `offset` into data[idx]; returns new offset.
+std::size_t unpack_rows(double* data, int dim, const LIdxVec& idx,
+                        std::span<const std::byte> in, std::size_t offset);
+
+/// Total bytes of the grouped message to each neighbour (doubles only).
+std::map<rank_t, std::int64_t> grouped_message_bytes(
+    const RankPlan& rp, std::span<const DatSyncSpec> specs);
+
+/// Builds the grouped export buffer toward neighbour `q`.
+std::vector<std::byte> pack_grouped(const RankPlan& rp, rank_t q,
+                                    std::span<const DatSyncSpec> specs);
+
+/// Unpacks a received grouped buffer from neighbour `q` into the dats.
+void unpack_grouped(const RankPlan& rp, rank_t q,
+                    std::span<const DatSyncSpec> specs,
+                    std::span<const std::byte> payload);
+
+}  // namespace op2ca::halo

@@ -1,0 +1,30 @@
+#include "op2ca/halo/halo_plan.hpp"
+
+#include <algorithm>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::halo {
+
+lidx_t SetLayout::core_count(int shrink) const {
+  // owned_din is sorted descending; count elements with din > shrink.
+  const auto it = std::lower_bound(owned_din.begin(), owned_din.end(), shrink,
+                                   [](int din, int s) { return din > s; });
+  return static_cast<lidx_t>(it - owned_din.begin());
+}
+
+std::pair<lidx_t, lidx_t> SetLayout::exec_layer(int k) const {
+  OP2CA_REQUIRE(k >= 1 && k < static_cast<int>(exec_end.size()),
+                "exec_layer index out of range");
+  return {exec_end[static_cast<std::size_t>(k - 1)],
+          exec_end[static_cast<std::size_t>(k)]};
+}
+
+std::pair<lidx_t, lidx_t> SetLayout::nonexec_layer(int k) const {
+  OP2CA_REQUIRE(k >= 1 && k < static_cast<int>(nonexec_end.size()),
+                "nonexec_layer index out of range");
+  return {nonexec_end[static_cast<std::size_t>(k - 1)],
+          nonexec_end[static_cast<std::size_t>(k)]};
+}
+
+}  // namespace op2ca::halo

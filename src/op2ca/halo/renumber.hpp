@@ -1,0 +1,24 @@
+// Localization of global structures to each rank's renumbered element
+// space: map target renumbering (Fig 6b) and dat gather/scatter between
+// global and local storage.
+#pragma once
+
+#include "op2ca/halo/halo_plan.hpp"
+
+namespace op2ca::halo {
+
+/// Fills plan->ranks[*].maps: every mesh map localized to each rank's
+/// numbering. Targets outside a rank's region become kInvalidLocal (these
+/// rows belong to never-executed fringe elements).
+void build_local_maps(const mesh::MeshDef& mesh, HaloPlan* plan);
+
+/// Gathers a global dat (row-major, `dim` values/element) into one rank's
+/// local layout order (owned, exec layers, nonexec layers).
+std::vector<double> gather_local(const std::vector<double>& global_data,
+                                 int dim, const SetLayout& layout);
+
+/// Scatters one rank's OWNED values back into the global array.
+void scatter_owned(const std::vector<double>& local_data, int dim,
+                   const SetLayout& layout, std::vector<double>* global_data);
+
+}  // namespace op2ca::halo

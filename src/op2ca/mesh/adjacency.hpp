@@ -1,0 +1,46 @@
+// CSR adjacency structures derived from mesh maps: reverse maps
+// (to-set -> from-set incidence) and symmetric element graphs used by the
+// partitioners and by halo-layer BFS.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "op2ca/mesh/mesh_def.hpp"
+#include "op2ca/util/types.hpp"
+
+namespace op2ca::mesh {
+
+/// Compressed sparse rows: neighbors of element e are
+/// adj[offsets[e] .. offsets[e+1]).
+struct Csr {
+  std::vector<gidx_t> offsets;  ///< size = num_rows + 1.
+  GIdxVec adj;
+
+  gidx_t num_rows() const {
+    return static_cast<gidx_t>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  std::span<const gidx_t> row(gidx_t e) const {
+    const auto b = static_cast<std::size_t>(offsets[static_cast<std::size_t>(e)]);
+    const auto e2 =
+        static_cast<std::size_t>(offsets[static_cast<std::size_t>(e) + 1]);
+    return {adj.data() + b, e2 - b};
+  }
+};
+
+/// Reverse incidence of a map: for each to-set element, the from-set
+/// elements mapping onto it.
+Csr reverse_map(const MeshDef& mesh, map_id m);
+
+/// Symmetric graph over elements of `s`: two elements are adjacent when a
+/// single element of some from-set maps onto both of them (e.g. two nodes
+/// sharing an edge). Self-loops and duplicates removed; rows sorted.
+Csr set_graph(const MeshDef& mesh, set_id s);
+
+/// Element-averaged coordinates for set `s`: if `s` is the coords set its
+/// own coordinates, otherwise the mean of mapped coords-set targets
+/// (searching one map hop from `s`, then via reverse maps). Dimension is
+/// the coords dat dim. Raises if no geometric path exists.
+std::vector<double> derive_coords(const MeshDef& mesh, set_id s);
+
+}  // namespace op2ca::mesh

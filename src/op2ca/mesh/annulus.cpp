@@ -1,0 +1,163 @@
+#include "op2ca/mesh/annulus.hpp"
+
+#include <cmath>
+
+namespace op2ca::mesh {
+namespace {
+
+constexpr double kHubRadius = 0.5;
+constexpr double kCasingRadius = 1.0;
+constexpr double kPitchRadians = 20.0 * 3.14159265358979323846 / 180.0;
+
+gidx_t node_id(gidx_t nr, gidx_t nt, gidx_t r, gidx_t t, gidx_t z) {
+  return (z * (nt + 1) + t) * (nr + 1) + r;
+}
+
+gidx_t cell_id(gidx_t nr, gidx_t nt, gidx_t r, gidx_t t, gidx_t z) {
+  return (z * nt + t) * nr + r;
+}
+
+}  // namespace
+
+Annulus make_annulus(gidx_t nr, gidx_t nt, gidx_t nz) {
+  OP2CA_REQUIRE(nr >= 1 && nt >= 1 && nz >= 1,
+                "make_annulus needs nr, nt, nz >= 1");
+  Annulus g;
+  g.nr = nr;
+  g.nt = nt;
+  g.nz = nz;
+
+  const gidx_t nnodes = (nr + 1) * (nt + 1) * (nz + 1);
+  const gidx_t ncells = nr * nt * nz;
+  const gidx_t ner = nr * (nt + 1) * (nz + 1);
+  const gidx_t net = (nr + 1) * nt * (nz + 1);
+  const gidx_t nez = (nr + 1) * (nt + 1) * nz;
+  const gidx_t nedges = ner + net + nez;
+
+  g.nodes = g.mesh.add_set("nodes", nnodes);
+  g.edges = g.mesh.add_set("edges", nedges);
+  g.cells = g.mesh.add_set("cells", ncells);
+
+  GIdxVec e2n, e2c;
+  e2n.reserve(static_cast<std::size_t>(2 * nedges));
+  e2c.reserve(static_cast<std::size_t>(2 * nedges));
+
+  // Appends the two cells adjacent to an edge along direction `dir`
+  // (0=r, 1=t, 2=z) starting at grid node (r, t, z). An edge along r at
+  // (r,t,z) borders cells in the (t,z) cross-plane; we take the two cells
+  // straddling it diagonally, clamping at domain boundaries.
+  auto push_edge_cells = [&](int dir, gidx_t r, gidx_t t, gidx_t z) {
+    auto clamp_cell = [&](gidx_t cr, gidx_t ct, gidx_t cz) -> gidx_t {
+      if (cr < 0 || cr >= nr || ct < 0 || ct >= nt || cz < 0 || cz >= nz)
+        return kInvalidGlobal;
+      return cell_id(nr, nt, cr, ct, cz);
+    };
+    gidx_t a = kInvalidGlobal, b = kInvalidGlobal;
+    if (dir == 0) {  // r-edge: neighbours differ in t.
+      a = clamp_cell(r, t - 1, std::min(z, nz - 1));
+      b = clamp_cell(r, t, std::min(z, nz - 1));
+    } else if (dir == 1) {  // t-edge: neighbours differ in r.
+      a = clamp_cell(r - 1, t, std::min(z, nz - 1));
+      b = clamp_cell(r, t, std::min(z, nz - 1));
+    } else {  // z-edge: neighbours differ in r.
+      a = clamp_cell(r - 1, std::min(t, nt - 1), z);
+      b = clamp_cell(r, std::min(t, nt - 1), z);
+    }
+    if (a == kInvalidGlobal) a = b;
+    if (b == kInvalidGlobal) b = a;
+    OP2CA_ASSERT(a != kInvalidGlobal, "edge with no adjacent cell");
+    e2c.push_back(a);
+    e2c.push_back(b);
+  };
+
+  for (gidx_t z = 0; z <= nz; ++z)
+    for (gidx_t t = 0; t <= nt; ++t)
+      for (gidx_t r = 0; r < nr; ++r) {
+        e2n.push_back(node_id(nr, nt, r, t, z));
+        e2n.push_back(node_id(nr, nt, r + 1, t, z));
+        push_edge_cells(0, r, t, z);
+      }
+  for (gidx_t z = 0; z <= nz; ++z)
+    for (gidx_t t = 0; t < nt; ++t)
+      for (gidx_t r = 0; r <= nr; ++r) {
+        e2n.push_back(node_id(nr, nt, r, t, z));
+        e2n.push_back(node_id(nr, nt, r, t + 1, z));
+        push_edge_cells(1, r, t, z);
+      }
+  for (gidx_t z = 0; z < nz; ++z)
+    for (gidx_t t = 0; t <= nt; ++t)
+      for (gidx_t r = 0; r <= nr; ++r) {
+        e2n.push_back(node_id(nr, nt, r, t, z));
+        e2n.push_back(node_id(nr, nt, r, t, z + 1));
+        push_edge_cells(2, r, t, z);
+      }
+
+  g.e2n = g.mesh.add_map("e2n", g.edges, g.nodes, 2, std::move(e2n));
+  g.e2c = g.mesh.add_map("e2c", g.edges, g.cells, 2, std::move(e2c));
+
+  // Periodic pitch pairs: node (r, 0, z) <-> node (r, nt, z).
+  GIdxVec pe2n;
+  for (gidx_t z = 0; z <= nz; ++z)
+    for (gidx_t r = 0; r <= nr; ++r) {
+      pe2n.push_back(node_id(nr, nt, r, 0, z));
+      pe2n.push_back(node_id(nr, nt, r, nt, z));
+    }
+  g.pedges = g.mesh.add_set("pedges", static_cast<gidx_t>(pe2n.size() / 2));
+  g.pe2n = g.mesh.add_map("pe2n", g.pedges, g.nodes, 2, std::move(pe2n));
+
+  // Boundary markers: hub (r=0), casing (r=nr), inlet (z=0), outlet (z=nz).
+  GIdxVec b2n;
+  for (gidx_t z = 0; z <= nz; ++z)
+    for (gidx_t t = 0; t <= nt; ++t) {
+      b2n.push_back(node_id(nr, nt, 0, t, z));
+      b2n.push_back(node_id(nr, nt, nr, t, z));
+    }
+  for (gidx_t t = 0; t <= nt; ++t)
+    for (gidx_t r = 1; r < nr; ++r) {  // skip hub/casing corners (already in)
+      b2n.push_back(node_id(nr, nt, r, t, 0));
+      b2n.push_back(node_id(nr, nt, r, t, nz));
+    }
+  g.bnd = g.mesh.add_set("bnd", static_cast<gidx_t>(b2n.size()));
+  g.b2n = g.mesh.add_map("b2n", g.bnd, g.nodes, 1, std::move(b2n));
+
+  // Centreline boundary: hub circle at the inlet plane.
+  GIdxVec cb2n;
+  for (gidx_t t = 0; t <= nt; ++t)
+    cb2n.push_back(node_id(nr, nt, 0, t, 0));
+  g.cbnd = g.mesh.add_set("cbnd", static_cast<gidx_t>(cb2n.size()));
+  g.cb2n = g.mesh.add_map("cb2n", g.cbnd, g.nodes, 1, std::move(cb2n));
+
+  std::vector<double> xyz(static_cast<std::size_t>(3 * nnodes));
+  for (gidx_t z = 0; z <= nz; ++z)
+    for (gidx_t t = 0; t <= nt; ++t)
+      for (gidx_t r = 0; r <= nr; ++r) {
+        const double radius =
+            kHubRadius + (kCasingRadius - kHubRadius) *
+                             static_cast<double>(r) / static_cast<double>(nr);
+        const double theta =
+            kPitchRadians * static_cast<double>(t) / static_cast<double>(nt);
+        const auto n = static_cast<std::size_t>(node_id(nr, nt, r, t, z));
+        xyz[3 * n + 0] = radius * std::cos(theta);
+        xyz[3 * n + 1] = radius * std::sin(theta);
+        xyz[3 * n + 2] = static_cast<double>(z) / static_cast<double>(nz);
+      }
+  g.coords = g.mesh.add_dat("coords", g.nodes, 3, std::move(xyz));
+  g.mesh.set_coords(g.nodes, g.coords);
+  return g;
+}
+
+void pick_annulus_dims(gidx_t target_nodes, gidx_t* nr, gidx_t* nt,
+                       gidx_t* nz) {
+  OP2CA_REQUIRE(target_nodes >= 27, "pick_annulus_dims target too small");
+  // Rotor-passage-like aspect: axial ~2x pitchwise, pitchwise ~2x radial.
+  // nodes ~= (nr+1)(nt+1)(nz+1) with nt = 2 nr, nz = 4 nr.
+  const double base =
+      std::cbrt(static_cast<double>(target_nodes) / 8.0);
+  gidx_t r = static_cast<gidx_t>(std::llround(base)) - 1;
+  if (r < 1) r = 1;
+  *nr = r;
+  *nt = 2 * r;
+  *nz = 4 * r;
+}
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,38 @@
+// Annular-sector ("rotor passage") mesh generator — the Rotor 37-like
+// geometry used by the Hydra experiments. A structured hex grid in
+// cylindrical coordinates (radial x pitchwise x axial) converted to
+// unstructured sets/maps, with:
+//   * pedges — pitch-periodic node pairs (Hydra's periodic-boundary set),
+//   * bnd    — hub/casing/inlet/outlet boundary markers,
+//   * cbnd   — centreline boundary markers (hub-inlet circle).
+#pragma once
+
+#include "op2ca/mesh/mesh_def.hpp"
+
+namespace op2ca::mesh {
+
+struct Annulus {
+  MeshDef mesh;
+  set_id nodes = -1, edges = -1, cells = -1;
+  set_id pedges = -1, bnd = -1, cbnd = -1;
+  map_id e2n = -1;   ///< edge -> 2 nodes.
+  map_id e2c = -1;   ///< edge -> 2 cells (boundary edges repeat a cell).
+  map_id pe2n = -1;  ///< periodic pair -> (node at theta=0, node at theta=max).
+  map_id b2n = -1;   ///< boundary marker -> 1 node.
+  map_id cb2n = -1;  ///< centreline marker -> 1 node.
+  dat_id coords = -1;  ///< node coordinates, dim 3 (x, y, z).
+
+  gidx_t nr = 0, nt = 0, nz = 0;  ///< cells per dimension.
+};
+
+/// Builds an annular wedge with `nr` radial, `nt` pitchwise and `nz` axial
+/// cells between hub radius 0.5 and casing radius 1.0, pitch angle 20 deg,
+/// unit axial length.
+Annulus make_annulus(gidx_t nr, gidx_t nt, gidx_t nz);
+
+/// Chooses (nr, nt, nz) for ~target_nodes with rotor-passage-like aspect
+/// (axial longest, radial shortest).
+void pick_annulus_dims(gidx_t target_nodes, gidx_t* nr, gidx_t* nt,
+                       gidx_t* nz);
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,106 @@
+#include "op2ca/mesh/hex3d.hpp"
+
+#include <cmath>
+
+namespace op2ca::mesh {
+namespace {
+
+gidx_t node_id(gidx_t nx, gidx_t ny, gidx_t i, gidx_t j, gidx_t k) {
+  return (k * (ny + 1) + j) * (nx + 1) + i;
+}
+
+}  // namespace
+
+Hex3D make_hex3d(gidx_t nx, gidx_t ny, gidx_t nz) {
+  OP2CA_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1,
+                "make_hex3d needs nx, ny, nz >= 1");
+  Hex3D g;
+  g.nx = nx;
+  g.ny = ny;
+  g.nz = nz;
+
+  const gidx_t nnodes = (nx + 1) * (ny + 1) * (nz + 1);
+  const gidx_t ncells = nx * ny * nz;
+  const gidx_t nex = nx * (ny + 1) * (nz + 1);
+  const gidx_t ney = (nx + 1) * ny * (nz + 1);
+  const gidx_t nez = (nx + 1) * (ny + 1) * nz;
+  const gidx_t nedges = nex + ney + nez;
+
+  g.nodes = g.mesh.add_set("nodes", nnodes);
+  g.edges = g.mesh.add_set("edges", nedges);
+  g.cells = g.mesh.add_set("cells", ncells);
+
+  GIdxVec e2n;
+  e2n.reserve(static_cast<std::size_t>(2 * nedges));
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i < nx; ++i) {
+        e2n.push_back(node_id(nx, ny, i, j, k));
+        e2n.push_back(node_id(nx, ny, i + 1, j, k));
+      }
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j < ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i) {
+        e2n.push_back(node_id(nx, ny, i, j, k));
+        e2n.push_back(node_id(nx, ny, i, j + 1, k));
+      }
+  for (gidx_t k = 0; k < nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i) {
+        e2n.push_back(node_id(nx, ny, i, j, k));
+        e2n.push_back(node_id(nx, ny, i, j, k + 1));
+      }
+  g.e2n = g.mesh.add_map("e2n", g.edges, g.nodes, 2, std::move(e2n));
+
+  GIdxVec c2n;
+  c2n.reserve(static_cast<std::size_t>(8 * ncells));
+  for (gidx_t k = 0; k < nz; ++k)
+    for (gidx_t j = 0; j < ny; ++j)
+      for (gidx_t i = 0; i < nx; ++i) {
+        c2n.push_back(node_id(nx, ny, i, j, k));
+        c2n.push_back(node_id(nx, ny, i + 1, j, k));
+        c2n.push_back(node_id(nx, ny, i + 1, j + 1, k));
+        c2n.push_back(node_id(nx, ny, i, j + 1, k));
+        c2n.push_back(node_id(nx, ny, i, j, k + 1));
+        c2n.push_back(node_id(nx, ny, i + 1, j, k + 1));
+        c2n.push_back(node_id(nx, ny, i + 1, j + 1, k + 1));
+        c2n.push_back(node_id(nx, ny, i, j + 1, k + 1));
+      }
+  g.c2n = g.mesh.add_map("c2n", g.cells, g.nodes, 8, std::move(c2n));
+
+  GIdxVec b2n;
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i)
+        if (i == 0 || i == nx || j == 0 || j == ny || k == 0 || k == nz)
+          b2n.push_back(node_id(nx, ny, i, j, k));
+  g.bnodes = g.mesh.add_set("bnodes", static_cast<gidx_t>(b2n.size()));
+  g.b2n = g.mesh.add_map("b2n", g.bnodes, g.nodes, 1, std::move(b2n));
+
+  std::vector<double> xyz(static_cast<std::size_t>(3 * nnodes));
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i) {
+        const auto n = static_cast<std::size_t>(node_id(nx, ny, i, j, k));
+        xyz[3 * n + 0] = static_cast<double>(i) / static_cast<double>(nx);
+        xyz[3 * n + 1] = static_cast<double>(j) / static_cast<double>(ny);
+        xyz[3 * n + 2] = static_cast<double>(k) / static_cast<double>(nz);
+      }
+  g.coords = g.mesh.add_dat("coords", g.nodes, 3, std::move(xyz));
+  g.mesh.set_coords(g.nodes, g.coords);
+  return g;
+}
+
+void pick_dims_for_nodes(gidx_t target_nodes, gidx_t* nx, gidx_t* ny,
+                         gidx_t* nz) {
+  OP2CA_REQUIRE(target_nodes >= 8, "pick_dims_for_nodes target too small");
+  const double side = std::cbrt(static_cast<double>(target_nodes));
+  // Node count is (n+1)^3 for n cells per side.
+  gidx_t n = static_cast<gidx_t>(std::llround(side)) - 1;
+  if (n < 1) n = 1;
+  *nx = n;
+  *ny = n;
+  *nz = n;
+}
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,31 @@
+// 3D structured-hex mesh expressed as unstructured sets/maps: the
+// node/edge mesh MG-CFD operates on (node-centred finite volume, edges
+// connecting node pairs), plus hex cells and a boundary-node set.
+#pragma once
+
+#include "op2ca/mesh/mesh_def.hpp"
+
+namespace op2ca::mesh {
+
+struct Hex3D {
+  MeshDef mesh;
+  set_id nodes = -1, edges = -1, cells = -1, bnodes = -1;
+  map_id e2n = -1;   ///< edge -> 2 nodes.
+  map_id c2n = -1;   ///< cell -> 8 nodes.
+  map_id b2n = -1;   ///< boundary marker -> 1 node.
+  dat_id coords = -1;  ///< node coordinates, dim 3.
+
+  gidx_t nx = 0, ny = 0, nz = 0;  ///< cells per dimension.
+};
+
+/// Builds an (nx x ny x nz)-cell hex mesh on [0,1]^3. Edges run along the
+/// three axes between neighbouring nodes; `bnodes` marks every node on the
+/// outer surface (one marker element per boundary node).
+Hex3D make_hex3d(gidx_t nx, gidx_t ny, gidx_t nz);
+
+/// Chooses (nx, ny, nz) with nx*ny*nz nodes ~ target_nodes and near-cubic
+/// aspect; used by benches to realise "8M" / "24M" style sizes.
+void pick_dims_for_nodes(gidx_t target_nodes, gidx_t* nx, gidx_t* ny,
+                         gidx_t* nz);
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,33 @@
+// Plain-text mesh I/O, so applications can run op2ca on externally
+// generated meshes (the role op_decl_* + HDF5 plays for real OP2).
+//
+// Format (whitespace-separated, '#' comments):
+//
+//   op2ca-mesh 1
+//   set <name> <size>
+//   map <name> <from-set> <to-set> <arity>
+//     <arity targets per from-element, size*arity integers>
+//   dat <name> <set> <dim>
+//     <size*dim doubles>
+//   coords <set> <dat>          # optional, at most once
+//
+// Sections may appear in any order as long as referenced sets exist.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "op2ca/mesh/mesh_def.hpp"
+
+namespace op2ca::mesh {
+
+/// Parses a mesh from a stream; raises on malformed input.
+MeshDef read_meshdef(std::istream& in);
+/// Convenience: opens and parses `path`.
+MeshDef read_meshdef_file(const std::string& path);
+
+/// Serializes a mesh (including dat values) to a stream.
+void write_meshdef(std::ostream& os, const MeshDef& mesh);
+void write_meshdef_file(const std::string& path, const MeshDef& mesh);
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,148 @@
+#include "op2ca/mesh/multigrid.hpp"
+
+#include <algorithm>
+#include <array>
+#include <string>
+
+namespace op2ca::mesh {
+namespace {
+
+gidx_t node_id(gidx_t nx, gidx_t ny, gidx_t i, gidx_t j, gidx_t k) {
+  return (k * (ny + 1) + j) * (nx + 1) + i;
+}
+
+/// Adds one level's node/edge/boundary sets and maps to `mesh`.
+MgLevel add_level(MeshDef& mesh, int level, gidx_t nx, gidx_t ny, gidx_t nz) {
+  MgLevel lv;
+  lv.nx = nx;
+  lv.ny = ny;
+  lv.nz = nz;
+  const std::string sfx = "_l" + std::to_string(level);
+
+  const gidx_t nnodes = (nx + 1) * (ny + 1) * (nz + 1);
+  const gidx_t nedges = nx * (ny + 1) * (nz + 1) + (nx + 1) * ny * (nz + 1) +
+                        (nx + 1) * (ny + 1) * nz;
+  lv.nodes = mesh.add_set("nodes" + sfx, nnodes);
+  lv.edges = mesh.add_set("edges" + sfx, nedges);
+
+  GIdxVec e2n;
+  e2n.reserve(static_cast<std::size_t>(2 * nedges));
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i < nx; ++i) {
+        e2n.push_back(node_id(nx, ny, i, j, k));
+        e2n.push_back(node_id(nx, ny, i + 1, j, k));
+      }
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j < ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i) {
+        e2n.push_back(node_id(nx, ny, i, j, k));
+        e2n.push_back(node_id(nx, ny, i, j + 1, k));
+      }
+  for (gidx_t k = 0; k < nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i) {
+        e2n.push_back(node_id(nx, ny, i, j, k));
+        e2n.push_back(node_id(nx, ny, i, j, k + 1));
+      }
+  lv.e2n = mesh.add_map("e2n" + sfx, lv.edges, lv.nodes, 2, std::move(e2n));
+
+  GIdxVec b2n;
+  for (gidx_t k = 0; k <= nz; ++k)
+    for (gidx_t j = 0; j <= ny; ++j)
+      for (gidx_t i = 0; i <= nx; ++i)
+        if (i == 0 || i == nx || j == 0 || j == ny || k == 0 || k == nz)
+          b2n.push_back(node_id(nx, ny, i, j, k));
+  lv.bnodes = mesh.add_set("bnodes" + sfx, static_cast<gidx_t>(b2n.size()));
+  lv.b2n = mesh.add_map("b2n" + sfx, lv.bnodes, lv.nodes, 1, std::move(b2n));
+  return lv;
+}
+
+}  // namespace
+
+MultigridHex make_multigrid_hex(gidx_t nx, gidx_t ny, gidx_t nz,
+                                int num_levels) {
+  OP2CA_REQUIRE(nx >= 1 && ny >= 1 && nz >= 1,
+                "make_multigrid_hex needs positive dims");
+  OP2CA_REQUIRE(num_levels >= 1, "make_multigrid_hex needs >= 1 level");
+
+  MultigridHex mg;
+  std::vector<std::array<gidx_t, 3>> dims;
+  gidx_t cx = nx, cy = ny, cz = nz;
+  for (int l = 0; l < num_levels; ++l) {
+    dims.push_back({cx, cy, cz});
+    cx = std::max<gidx_t>(cx / 2, 1);
+    cy = std::max<gidx_t>(cy / 2, 1);
+    cz = std::max<gidx_t>(cz / 2, 1);
+  }
+
+  for (int l = 0; l < num_levels; ++l)
+    mg.levels.push_back(
+        add_level(mg.mesh, l, dims[static_cast<std::size_t>(l)][0],
+                  dims[static_cast<std::size_t>(l)][1],
+                  dims[static_cast<std::size_t>(l)][2]));
+
+  // Inter-grid maps between consecutive levels.
+  for (int l = 0; l + 1 < num_levels; ++l) {
+    const MgLevel& fine = mg.levels[static_cast<std::size_t>(l)];
+    const MgLevel& coarse = mg.levels[static_cast<std::size_t>(l) + 1];
+    const std::string sfx =
+        "_l" + std::to_string(l) + std::to_string(l + 1);
+
+    // Fine node (i,j,k) restricts onto the nearest coarse node; the ratio
+    // per dimension handles the floor-at-1 clamping.
+    GIdxVec restr;
+    restr.reserve(
+        static_cast<std::size_t>((fine.nx + 1) * (fine.ny + 1) * (fine.nz + 1)));
+    auto coarse_index = [](gidx_t fi, gidx_t fn, gidx_t cn) {
+      if (fn == cn) return fi;
+      const gidx_t ci = fi * cn / fn;  // floor mapping onto [0, cn].
+      return std::min(ci, cn);
+    };
+    for (gidx_t k = 0; k <= fine.nz; ++k)
+      for (gidx_t j = 0; j <= fine.ny; ++j)
+        for (gidx_t i = 0; i <= fine.nx; ++i)
+          restr.push_back(node_id(coarse.nx, coarse.ny,
+                                  coarse_index(i, fine.nx, coarse.nx),
+                                  coarse_index(j, fine.ny, coarse.ny),
+                                  coarse_index(k, fine.nz, coarse.nz)));
+    mg.restrict_maps.push_back(mg.mesh.add_map(
+        "restrict" + sfx, fine.nodes, coarse.nodes, 1, std::move(restr)));
+
+    // Coarse node (i,j,k) injects from the co-located fine node.
+    GIdxVec prol;
+    prol.reserve(static_cast<std::size_t>((coarse.nx + 1) * (coarse.ny + 1) *
+                                          (coarse.nz + 1)));
+    auto fine_index = [](gidx_t ci, gidx_t cn, gidx_t fn) {
+      if (fn == cn) return ci;
+      return std::min(ci * fn / cn, fn);
+    };
+    for (gidx_t k = 0; k <= coarse.nz; ++k)
+      for (gidx_t j = 0; j <= coarse.ny; ++j)
+        for (gidx_t i = 0; i <= coarse.nx; ++i)
+          prol.push_back(node_id(fine.nx, fine.ny,
+                                 fine_index(i, coarse.nx, fine.nx),
+                                 fine_index(j, coarse.ny, fine.ny),
+                                 fine_index(k, coarse.nz, fine.nz)));
+    mg.prolong_maps.push_back(mg.mesh.add_map(
+        "prolong" + sfx, coarse.nodes, fine.nodes, 1, std::move(prol)));
+  }
+
+  // Level-0 node coordinates (for geometric partitioning).
+  const MgLevel& l0 = mg.levels.front();
+  const gidx_t nn0 = (l0.nx + 1) * (l0.ny + 1) * (l0.nz + 1);
+  std::vector<double> xyz(static_cast<std::size_t>(3 * nn0));
+  for (gidx_t k = 0; k <= l0.nz; ++k)
+    for (gidx_t j = 0; j <= l0.ny; ++j)
+      for (gidx_t i = 0; i <= l0.nx; ++i) {
+        const auto n = static_cast<std::size_t>(node_id(l0.nx, l0.ny, i, j, k));
+        xyz[3 * n + 0] = static_cast<double>(i) / static_cast<double>(l0.nx);
+        xyz[3 * n + 1] = static_cast<double>(j) / static_cast<double>(l0.ny);
+        xyz[3 * n + 2] = static_cast<double>(k) / static_cast<double>(l0.nz);
+      }
+  mg.coords = mg.mesh.add_dat("coords", l0.nodes, 3, std::move(xyz));
+  mg.mesh.set_coords(l0.nodes, mg.coords);
+  return mg;
+}
+
+}  // namespace op2ca::mesh

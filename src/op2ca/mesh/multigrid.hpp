@@ -1,0 +1,32 @@
+// Multigrid hierarchy over hex3d meshes, as used by MG-CFD: each level is
+// a coarsened node/edge grid living in the same MeshDef, with arity-1
+// inter-grid maps (fine->coarse restriction target, coarse->fine
+// injection point).
+#pragma once
+
+#include <vector>
+
+#include "op2ca/mesh/mesh_def.hpp"
+
+namespace op2ca::mesh {
+
+struct MgLevel {
+  set_id nodes = -1, edges = -1, bnodes = -1;
+  map_id e2n = -1, b2n = -1;
+  gidx_t nx = 0, ny = 0, nz = 0;  ///< cells per dimension at this level.
+};
+
+struct MultigridHex {
+  MeshDef mesh;
+  std::vector<MgLevel> levels;         ///< levels[0] is the finest.
+  std::vector<map_id> restrict_maps;   ///< [l]: level-l nodes -> level-(l+1).
+  std::vector<map_id> prolong_maps;    ///< [l]: level-(l+1) nodes -> level-l.
+  dat_id coords = -1;                  ///< level-0 node coordinates.
+};
+
+/// Builds `num_levels` levels starting from an (nx x ny x nz)-cell fine
+/// grid, halving each dimension per level (floored at 1 cell).
+MultigridHex make_multigrid_hex(gidx_t nx, gidx_t ny, gidx_t nz,
+                                int num_levels);
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,108 @@
+#include "op2ca/mesh/quad2d.hpp"
+
+namespace op2ca::mesh {
+namespace {
+
+gidx_t node_id(gidx_t nx, gidx_t i, gidx_t j) { return j * (nx + 1) + i; }
+gidx_t cell_id(gidx_t nx, gidx_t i, gidx_t j) { return j * nx + i; }
+
+}  // namespace
+
+Quad2D make_quad2d(gidx_t nx, gidx_t ny) {
+  OP2CA_REQUIRE(nx >= 1 && ny >= 1, "make_quad2d needs nx, ny >= 1");
+  Quad2D g;
+
+  const gidx_t nnodes = (nx + 1) * (ny + 1);
+  const gidx_t ncells = nx * ny;
+  // Horizontal edges: nx per row, (ny+1) rows. Vertical: (nx+1) per row,
+  // ny rows.
+  const gidx_t nhedges = nx * (ny + 1);
+  const gidx_t nvedges = (nx + 1) * ny;
+  const gidx_t nedges = nhedges + nvedges;
+  const gidx_t nbedges = 2 * nx + 2 * ny;
+
+  g.nodes = g.mesh.add_set("nodes", nnodes);
+  g.edges = g.mesh.add_set("edges", nedges);
+  g.cells = g.mesh.add_set("cells", ncells);
+  g.bedges = g.mesh.add_set("bedges", nbedges);
+
+  GIdxVec e2n, e2c;
+  e2n.reserve(static_cast<std::size_t>(2 * nedges));
+  e2c.reserve(static_cast<std::size_t>(2 * nedges));
+
+  // Horizontal edges (between node (i,j) and (i+1,j)); cells below/above.
+  for (gidx_t j = 0; j <= ny; ++j) {
+    for (gidx_t i = 0; i < nx; ++i) {
+      e2n.push_back(node_id(nx, i, j));
+      e2n.push_back(node_id(nx, i + 1, j));
+      const gidx_t below = (j == 0) ? kInvalidGlobal : cell_id(nx, i, j - 1);
+      const gidx_t above = (j == ny) ? kInvalidGlobal : cell_id(nx, i, j);
+      const gidx_t c0 = below != kInvalidGlobal ? below : above;
+      const gidx_t c1 = above != kInvalidGlobal ? above : below;
+      e2c.push_back(c0);
+      e2c.push_back(c1);
+    }
+  }
+  // Vertical edges (between node (i,j) and (i,j+1)); cells left/right.
+  for (gidx_t j = 0; j < ny; ++j) {
+    for (gidx_t i = 0; i <= nx; ++i) {
+      e2n.push_back(node_id(nx, i, j));
+      e2n.push_back(node_id(nx, i, j + 1));
+      const gidx_t left = (i == 0) ? kInvalidGlobal : cell_id(nx, i - 1, j);
+      const gidx_t right = (i == nx) ? kInvalidGlobal : cell_id(nx, i, j);
+      const gidx_t c0 = left != kInvalidGlobal ? left : right;
+      const gidx_t c1 = right != kInvalidGlobal ? right : left;
+      e2c.push_back(c0);
+      e2c.push_back(c1);
+    }
+  }
+
+  GIdxVec c2n;
+  c2n.reserve(static_cast<std::size_t>(4 * ncells));
+  for (gidx_t j = 0; j < ny; ++j) {
+    for (gidx_t i = 0; i < nx; ++i) {
+      c2n.push_back(node_id(nx, i, j));
+      c2n.push_back(node_id(nx, i + 1, j));
+      c2n.push_back(node_id(nx, i + 1, j + 1));
+      c2n.push_back(node_id(nx, i, j + 1));
+    }
+  }
+
+  GIdxVec be2n;
+  be2n.reserve(static_cast<std::size_t>(2 * nbedges));
+  for (gidx_t i = 0; i < nx; ++i) {  // bottom
+    be2n.push_back(node_id(nx, i, 0));
+    be2n.push_back(node_id(nx, i + 1, 0));
+  }
+  for (gidx_t i = 0; i < nx; ++i) {  // top
+    be2n.push_back(node_id(nx, i, ny));
+    be2n.push_back(node_id(nx, i + 1, ny));
+  }
+  for (gidx_t j = 0; j < ny; ++j) {  // left
+    be2n.push_back(node_id(nx, 0, j));
+    be2n.push_back(node_id(nx, 0, j + 1));
+  }
+  for (gidx_t j = 0; j < ny; ++j) {  // right
+    be2n.push_back(node_id(nx, nx, j));
+    be2n.push_back(node_id(nx, nx, j + 1));
+  }
+
+  g.e2n = g.mesh.add_map("e2n", g.edges, g.nodes, 2, std::move(e2n));
+  g.e2c = g.mesh.add_map("e2c", g.edges, g.cells, 2, std::move(e2c));
+  g.c2n = g.mesh.add_map("c2n", g.cells, g.nodes, 4, std::move(c2n));
+  g.be2n = g.mesh.add_map("be2n", g.bedges, g.nodes, 2, std::move(be2n));
+
+  std::vector<double> xy(static_cast<std::size_t>(2 * nnodes));
+  for (gidx_t j = 0; j <= ny; ++j) {
+    for (gidx_t i = 0; i <= nx; ++i) {
+      const auto n = static_cast<std::size_t>(node_id(nx, i, j));
+      xy[2 * n + 0] = static_cast<double>(i) / static_cast<double>(nx);
+      xy[2 * n + 1] = static_cast<double>(j) / static_cast<double>(ny);
+    }
+  }
+  g.coords = g.mesh.add_dat("coords", g.nodes, 2, std::move(xy));
+  g.mesh.set_coords(g.nodes, g.coords);
+  return g;
+}
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,27 @@
+// 2D structured-quad mesh expressed as unstructured sets/maps — the
+// nodes/edges/cells mesh of Fig. 1 of the paper. Used by the quickstart
+// example, the airfoil example and most unit/property tests.
+#pragma once
+
+#include "op2ca/mesh/mesh_def.hpp"
+
+namespace op2ca::mesh {
+
+/// Handles into the MeshDef a generator produced.
+struct Quad2D {
+  MeshDef mesh;
+  set_id nodes = -1, edges = -1, cells = -1, bedges = -1;
+  map_id e2n = -1;  ///< edge -> 2 nodes.
+  map_id e2c = -1;  ///< edge -> 2 cells (boundary edges repeat the cell).
+  map_id c2n = -1;  ///< cell -> 4 nodes (counter-clockwise).
+  map_id be2n = -1; ///< boundary edge -> 2 nodes.
+  dat_id coords = -1;  ///< node coordinates, dim 2.
+};
+
+/// Builds an (nx x ny)-cell quad mesh on [0,1]^2.
+/// Interior edges carry their two adjacent cells in e2c; boundary edges
+/// appear both in `edges` (with the adjacent cell duplicated) and in the
+/// separate `bedges` set.
+Quad2D make_quad2d(gidx_t nx, gidx_t ny);
+
+}  // namespace op2ca::mesh

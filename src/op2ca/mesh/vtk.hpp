@@ -1,0 +1,28 @@
+// Legacy-VTK (ASCII) snapshot writer: dumps a mesh (its coordinate set
+// plus one element-to-points map) and point-data fields for inspection
+// in ParaView/VisIt. Used by the examples to visualise solver output.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "op2ca/mesh/mesh_def.hpp"
+
+namespace op2ca::mesh {
+
+/// A named point-data field: values.size() must be a multiple of the
+/// coordinate-set size (the multiple becomes the component count).
+struct VtkField {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Writes `mesh` as an unstructured grid: points from the coords dat,
+/// cells from `elements_to_points` (arity 1 = vertices, 2 = lines,
+/// 4 = quads, 8 = hexahedra), and the given point fields.
+void write_vtk(const std::string& path, const MeshDef& mesh,
+               map_id elements_to_points,
+               const std::vector<VtkField>& point_fields);
+
+}  // namespace op2ca::mesh

@@ -1,0 +1,24 @@
+#include "op2ca/model/calibrate.hpp"
+
+namespace op2ca::model {
+
+std::map<std::string, double> calibrate_loop_costs(
+    mesh::MeshDef mesh, const std::function<void(core::Runtime&)>& spmd) {
+  core::WorldConfig cfg;
+  cfg.nranks = 1;
+  cfg.partitioner = partition::Kind::Block;
+  cfg.halo_depth = 1;
+  core::World world(std::move(mesh), cfg);
+  world.run(spmd);
+
+  std::map<std::string, double> g;
+  for (const auto& [name, m] : world.loop_metrics()) {
+    const std::int64_t iters = m.core_iters + m.halo_iters;
+    if (iters > 0) g[name] = m.wall_seconds / static_cast<double>(iters);
+  }
+  return g;
+}
+
+double default_host_g() { return 2.0e-8; }
+
+}  // namespace op2ca::model

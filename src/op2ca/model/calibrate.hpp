@@ -1,0 +1,25 @@
+// Kernel-cost calibration: measures per-iteration wall time of each loop
+// on this host by running the application once on a single rank, then
+// reading the World's metrics. The analytic model scales these host
+// costs to the target machine via Machine::compute_scale.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "op2ca/core/runtime.hpp"
+
+namespace op2ca::model {
+
+/// Runs `spmd` on a fresh single-rank World over `mesh` and returns
+/// seconds-per-iteration per loop name (wall / (core+halo iterations)),
+/// averaged over however many calls the spmd function makes.
+std::map<std::string, double> calibrate_loop_costs(
+    mesh::MeshDef mesh, const std::function<void(core::Runtime&)>& spmd);
+
+/// Fallback costs (seconds/iteration, host core) when a bench wants to
+/// skip the calibration run; roughly a light CFD edge kernel.
+double default_host_g();
+
+}  // namespace op2ca::model

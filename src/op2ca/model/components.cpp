@@ -1,0 +1,228 @@
+#include "op2ca/model/components.hpp"
+
+#include "op2ca/core/slice.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::model {
+namespace {
+
+constexpr std::int64_t kDoubleBytes =
+    static_cast<std::int64_t>(sizeof(double));
+
+/// Bytes of one level-1 list of a dat.
+std::int64_t list_bytes(const std::vector<LIdxVec>& layers, int depth,
+                        int dim) {
+  std::int64_t n = 0;
+  for (int k = 0; k < depth && k < static_cast<int>(layers.size()); ++k)
+    n += static_cast<std::int64_t>(layers[static_cast<std::size_t>(k)].size());
+  return n * dim * kDoubleBytes;
+}
+
+}  // namespace
+
+double ChainComponents::comm_reduction_pct() const {
+  if (op2_comm_bytes == 0) return 0.0;
+  return 100.0 *
+         static_cast<double>(op2_comm_bytes - ca_comm_bytes) /
+         static_cast<double>(op2_comm_bytes);
+}
+
+double ChainComponents::comp_increase_pct() const {
+  if (op2_total_iters == 0) return 0.0;
+  return 100.0 *
+         static_cast<double>(ca_total_iters - op2_total_iters) /
+         static_cast<double>(op2_total_iters);
+}
+
+std::set<mesh::dat_id> steady_state_stale(
+    const core::ChainSpec& spec,
+    const std::set<mesh::dat_id>& outer_written) {
+  std::set<mesh::dat_id> stale = outer_written;
+  for (const core::LoopSpec& loop : spec.loops)
+    for (const auto& [dat, m] : core::merge_loop_accesses(loop))
+      if (core::writes(m.mode)) stale.insert(dat);
+  return stale;
+}
+
+ChainComponents extract_components(
+    const mesh::MeshDef& mesh, const halo::HaloPlan& plan,
+    const core::ChainSpec& spec, const core::ChainAnalysis& analysis,
+    const std::set<mesh::dat_id>* stale_at_entry) {
+  const int n = static_cast<int>(spec.loops.size());
+  OP2CA_REQUIRE(static_cast<int>(analysis.he.size()) == n,
+                "extract_components: analysis does not match chain");
+
+  ChainComponents out;
+  out.op2_terms.assign(static_cast<std::size_t>(n), LoopTerms{});
+  out.ca_terms.loops.assign(static_cast<std::size_t>(n), LoopTerms{});
+
+  std::vector<std::map<mesh::dat_id, core::MergedAccess>> merged(
+      static_cast<std::size_t>(n));
+  for (int l = 0; l < n; ++l)
+    merged[static_cast<std::size_t>(l)] =
+        core::merge_loop_accesses(spec.loops[static_cast<std::size_t>(l)]);
+
+  // Dats whose pre-chain halos are stale (identical on every rank).
+  std::set<mesh::dat_id> initially_stale;
+  for (const core::DatSync& s : analysis.syncs)
+    if (stale_at_entry == nullptr || stale_at_entry->count(s.dat) != 0)
+      initially_stale.insert(s.dat);
+
+  for (rank_t r = 0; r < plan.nranks; ++r) {
+    const halo::RankPlan& rp = plan.ranks[static_cast<std::size_t>(r)];
+
+    // ---- Baseline (OP2) per-loop quantities with dirty-bit emulation.
+    std::set<mesh::dat_id> stale = initially_stale;
+    std::int64_t r_op2_comm = 0, r_op2_core = 0, r_op2_halo = 0;
+    for (int l = 0; l < n; ++l) {
+      const core::LoopSpec& loop = spec.loops[static_cast<std::size_t>(l)];
+      const halo::SetLayout& lay =
+          rp.sets[static_cast<std::size_t>(loop.set)];
+      const bool exec_halo = loop.has_indirect_write();
+
+      std::vector<mesh::dat_id> exch;
+      for (const auto& [dat, m] : merged[static_cast<std::size_t>(l)]) {
+        if (!core::reads_value(m.mode)) continue;
+        if (!m.indirect && !exec_halo) continue;
+        if (stale.count(dat) != 0) exch.push_back(dat);
+      }
+      for (mesh::dat_id d : exch) stale.erase(d);
+      for (const auto& [dat, m] : merged[static_cast<std::size_t>(l)])
+        if (core::writes(m.mode)) stale.insert(dat);
+
+      // Per-class message maxima: eeh and enh travel as separate
+      // messages (the factor 2 of Eq 1); classes with no elements send
+      // nothing, so the per-neighbour message count is
+      // d * (non-empty classes).
+      int p_l = 0;
+      std::int64_t m1 = 0;
+      int classes = 0;
+      {
+        std::set<rank_t> neighbors;
+        bool any_exec = false, any_nonexec = false;
+        for (mesh::dat_id d : exch) {
+          const mesh::DatDef& dd = mesh.dat(d);
+          const halo::NeighborLists& nl =
+              rp.lists[static_cast<std::size_t>(dd.set)];
+          for (const auto& [q, layers] : nl.exp_exec) {
+            const std::int64_t bytes = list_bytes(layers, 1, dd.dim);
+            if (bytes > 0) {
+              neighbors.insert(q);
+              m1 = std::max(m1, bytes);
+              any_exec = true;
+            }
+          }
+          for (const auto& [q, layers] : nl.exp_nonexec) {
+            const std::int64_t bytes = list_bytes(layers, 1, dd.dim);
+            if (bytes > 0) {
+              neighbors.insert(q);
+              m1 = std::max(m1, bytes);
+              any_nonexec = true;
+            }
+          }
+        }
+        p_l = static_cast<int>(neighbors.size());
+        classes = (any_exec ? 1 : 0) + (any_nonexec ? 1 : 0);
+      }
+
+      const std::int64_t s_core = lay.core_count(1);
+      std::int64_t s_halo = lay.num_owned - s_core;
+      if (exec_halo) {
+        const auto [b, e] = lay.exec_layer(1);
+        s_halo += e - b;
+      }
+      const std::int64_t d_l = static_cast<std::int64_t>(exch.size());
+      const std::int64_t mpn = d_l * classes;
+      r_op2_comm += mpn * p_l * m1;
+      r_op2_core += s_core;
+      r_op2_halo += s_halo;
+
+      LoopTerms& lt = out.op2_terms[static_cast<std::size_t>(l)];
+      lt.core_iters = std::max(lt.core_iters, s_core);
+      lt.halo_iters = std::max(lt.halo_iters, s_halo);
+      lt.d = std::max(lt.d, static_cast<int>(d_l));
+      lt.p = std::max(lt.p, p_l);
+      lt.m1 = std::max(lt.m1, m1);
+      lt.msgs_per_neighbor =
+          std::max(lt.msgs_per_neighbor, static_cast<int>(mpn));
+    }
+
+    // ---- CA quantities. The exec-halo side uses the sparse-tiling
+    // slice (the same needed-iteration lists the executor runs), so the
+    // model components describe what actually executes.
+    const std::vector<LIdxVec> exec_lists =
+        core::needed_exec_lists(mesh, rp, plan.depth, spec, analysis);
+    std::int64_t r_ca_core = 0, r_ca_halo = 0;
+    for (int l = 0; l < n; ++l) {
+      const core::LoopSpec& loop = spec.loops[static_cast<std::size_t>(l)];
+      const halo::SetLayout& lay =
+          rp.sets[static_cast<std::size_t>(loop.set)];
+      const std::int64_t s_core =
+          lay.core_count(analysis.shrink[static_cast<std::size_t>(l)]);
+      std::int64_t s_halo = lay.num_owned - s_core;
+      s_halo += static_cast<std::int64_t>(
+          exec_lists[static_cast<std::size_t>(l)].size());
+      r_ca_core += s_core;
+      r_ca_halo += s_halo;
+      LoopTerms& lt = out.ca_terms.loops[static_cast<std::size_t>(l)];
+      lt.core_iters = std::max(lt.core_iters, s_core);
+      lt.halo_iters = std::max(lt.halo_iters, s_halo);
+    }
+
+    // Grouped message: per-neighbour totals over the stale sync dats
+    // (the same filter the CA executor's dirty bits apply).
+    std::map<rank_t, std::int64_t> grouped;
+    for (const core::DatSync& s : analysis.syncs) {
+      if (initially_stale.count(s.dat) == 0) continue;
+      const mesh::DatDef& dd = mesh.dat(s.dat);
+      const halo::NeighborLists& nl =
+          rp.lists[static_cast<std::size_t>(dd.set)];
+      for (const auto* tab : {&nl.exp_exec, &nl.exp_nonexec}) {
+        for (const auto& [q, layers] : *tab) {
+          const std::int64_t bytes = list_bytes(layers, s.depth, dd.dim);
+          if (bytes > 0) grouped[q] += bytes;
+        }
+      }
+    }
+    std::int64_t m_r = 0;
+    for (const auto& [q, bytes] : grouped) m_r = std::max(m_r, bytes);
+    const int p = static_cast<int>(grouped.size());
+
+    out.op2_comm_bytes = std::max(out.op2_comm_bytes, r_op2_comm);
+    out.op2_core = std::max(out.op2_core, r_op2_core);
+    out.op2_halo = std::max(out.op2_halo, r_op2_halo);
+    out.op2_total_iters =
+        std::max(out.op2_total_iters, r_op2_core + r_op2_halo);
+    out.ca_total_iters =
+        std::max(out.ca_total_iters, r_ca_core + r_ca_halo);
+    out.ca_comm_bytes = std::max(
+        out.ca_comm_bytes, static_cast<std::int64_t>(p) * m_r);
+    out.ca_core = std::max(out.ca_core, r_ca_core);
+    out.ca_halo = std::max(out.ca_halo, r_ca_halo);
+    out.ca_terms.p = std::max(out.ca_terms.p, p);
+    out.ca_terms.m_r = std::max(out.ca_terms.m_r, m_r);
+  }
+
+  return out;
+}
+
+void apply_kernel_costs(const core::ChainSpec& spec,
+                        const std::map<std::string, double>& host_g,
+                        double compute_scale, ChainComponents* comps) {
+  OP2CA_REQUIRE(comps != nullptr, "apply_kernel_costs: null components");
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    const auto it = host_g.find(spec.loops[l].name);
+    OP2CA_REQUIRE(it != host_g.end(),
+                  "apply_kernel_costs: no calibrated cost for loop '" +
+                      spec.loops[l].name + "'");
+    const double g = it->second * compute_scale;
+    comps->op2_terms[l].g = g;
+    comps->ca_terms.loops[l].g = g;
+  }
+}
+
+}  // namespace op2ca::model

@@ -1,0 +1,73 @@
+// Model-component extraction: computes, from a halo plan and a chain
+// analysis, exactly the quantities the paper tabulates (Tables 2 and 5)
+// and the inputs of Eqs (1)-(3):
+//
+//   OP2:  sum_l 2 d_l p_l m_l^1  |  sum_l S_l^c  |  sum_l S_l^1
+//   CA:   p m^r                  |  sum_l S_l^c  |  sum_l S_l^h
+//
+// All values are per-rank critical-path maxima, like the paper's. No
+// execution is needed — a sizes-only halo plan suffices — so components
+// can be extracted at paper scale (thousands of ranks).
+#pragma once
+
+#include <map>
+#include <string>
+#include <set>
+
+#include "op2ca/core/chain.hpp"
+#include "op2ca/halo/halo_plan.hpp"
+#include "op2ca/model/perf_model.hpp"
+
+namespace op2ca::model {
+
+struct ChainComponents {
+  // Table 2 / Table 5 columns (per-rank maxima).
+  std::int64_t op2_comm_bytes = 0;  ///< sum_l 2 d_l p_l m_l^1.
+  std::int64_t op2_core = 0;        ///< sum_l S_l^c.
+  std::int64_t op2_halo = 0;        ///< sum_l S_l^1.
+  std::int64_t ca_comm_bytes = 0;   ///< p * m^r.
+  std::int64_t ca_core = 0;         ///< sum_l S_l^c (shrunken cores).
+  std::int64_t ca_halo = 0;         ///< sum_l S_l^h.
+  /// Per-rank total iterations (core+halo maximized as one quantity, so
+  /// the computation-increase comparison is rank-consistent).
+  std::int64_t op2_total_iters = 0;
+  std::int64_t ca_total_iters = 0;
+
+  /// Derived Table-5 style percentages.
+  double comm_reduction_pct() const;
+  double comp_increase_pct() const;
+
+  /// Eq (1)/(3) inputs with g left at 0 (caller fills per-loop costs).
+  std::vector<LoopTerms> op2_terms;
+  ChainTerms ca_terms;
+};
+
+/// Extracts components for `spec` over `plan`. The baseline dirty-bit
+/// sequence is emulated: stale dats read with halo reach trigger a
+/// level-1 exchange, every written dat becomes stale again — so the OP2
+/// column re-exchanges data the CA execution regenerates locally.
+///
+/// `stale_at_entry` lists the dats whose halos are stale when the chain
+/// starts (typically: dats written inside the chain — they recur stale
+/// on every outer iteration — plus dats written by loops outside the
+/// chain, like an RK update). Pass nullptr to assume every sync dat
+/// stale (worst case). The CA grouped message uses the same filter, so
+/// both columns describe the same steady state the executors reach.
+ChainComponents extract_components(
+    const mesh::MeshDef& mesh, const halo::HaloPlan& plan,
+    const core::ChainSpec& spec, const core::ChainAnalysis& analysis,
+    const std::set<mesh::dat_id>* stale_at_entry = nullptr);
+
+/// Steady-state stale set: dats written anywhere in the chain plus the
+/// caller's extra outer-loop-written dats.
+std::set<mesh::dat_id> steady_state_stale(
+    const core::ChainSpec& spec,
+    const std::set<mesh::dat_id>& outer_written);
+
+/// Fills per-loop g (seconds/iteration on the target machine) into the
+/// extracted terms: host-calibrated costs scaled by machine.compute_scale.
+void apply_kernel_costs(const core::ChainSpec& spec,
+                        const std::map<std::string, double>& host_g,
+                        double compute_scale, ChainComponents* comps);
+
+}  // namespace op2ca::model

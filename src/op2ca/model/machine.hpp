@@ -1,0 +1,41 @@
+// Machine parameterisations for the analytic model (Table 1 of the
+// paper): an ARCHER2-like CPU cluster (HPE Cray EX, AMD EPYC 7742,
+// Slingshot) and a Cirrus-like V100 GPU cluster (4 GPUs/node, FDR
+// InfiniBand, staged host<->device transfers).
+//
+// Absolute times are not the reproduction target — shapes are — but the
+// parameters are chosen from the published system specs so the
+// computation/communication balance is realistic.
+#pragma once
+
+#include <string>
+
+#include "op2ca/comm/cost_model.hpp"
+
+namespace op2ca::model {
+
+struct Machine {
+  std::string name;
+  sim::CostModel net;  ///< L (latency) and B (bandwidth) of Eqs (1)-(3).
+  /// Multiplier applied to host-calibrated per-iteration kernel costs to
+  /// approximate one target core / one target GPU rank.
+  double compute_scale = 1.0;
+  int ranks_per_node = 1;
+  bool is_gpu = false;
+  /// GPU path: the staged PCIe copies and kernel-launch overheads enter
+  /// the model as a larger effective latency Lambda (Section 3.3).
+  double effective_latency() const {
+    return net.latency_s + extra_latency_s;
+  }
+  double extra_latency_s = 0.0;
+};
+
+/// HPE Cray EX: 2 x 64-core EPYC 7742/node, Slingshot 2x100 Gb/s.
+Machine archer2();
+/// SGI/HPE 8600: 4 x V100/node, FDR InfiniBand 54.5 Gb/s.
+Machine cirrus_gpu();
+
+/// Look-up by name ("archer2" | "cirrus"); raises on unknown.
+Machine machine_by_name(const std::string& name);
+
+}  // namespace op2ca::model

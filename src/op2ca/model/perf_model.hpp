@@ -1,0 +1,54 @@
+// The analytic performance model of Section 3.2, Eqs (1)-(3):
+//
+//   T_op2,l = MAX[ g_l S_l^c , 2 d_l p_l (L + m_l^1/B) ] + g_l S_l^1   (1)
+//   T_op2,L = sum_l T_op2,l                                            (2)
+//   T_ca,L  = MAX[ sum_l g_l S_l^c , p (L + m^r/B + c) ] + sum_l g_l S_l^h
+//                                                                      (3)
+//
+// with m^r the grouped message size (Eq 4, assembled by the component
+// extractor), L/B the machine latency/bandwidth (Lambda on the GPU path)
+// and c the grouped pack+unpack cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "op2ca/model/machine.hpp"
+
+namespace op2ca::model {
+
+/// Per-loop quantities entering Eq (1); per-rank critical-path maxima.
+struct LoopTerms {
+  double g = 0.0;                ///< seconds per iteration (target core).
+  std::int64_t core_iters = 0;   ///< S_l^c.
+  std::int64_t halo_iters = 0;   ///< S_l^1 (OP2) or S_l^h (CA).
+  int d = 0;                     ///< dats exchanged (OP2 path).
+  int p = 0;                     ///< neighbours (OP2 path).
+  std::int64_t m1 = 0;           ///< max single message bytes (OP2 path).
+  /// Messages per neighbour per exchange round. The paper's Eq (1) uses
+  /// 2*d (separate eeh and enh messages per dat); on meshes where one
+  /// class is empty (e.g. node sets with no exec halo) only the
+  /// non-empty classes send, so this is d * (non-empty classes).
+  int msgs_per_neighbor = 0;
+};
+
+/// Eq (1): one OP2 loop.
+double t_op2_loop(const Machine& mach, const LoopTerms& t);
+
+/// Eq (2): sum over the chain's loops.
+double t_op2_chain(const Machine& mach, const std::vector<LoopTerms>& ts);
+
+/// Chain-level quantities entering Eq (3).
+struct ChainTerms {
+  std::vector<LoopTerms> loops;  ///< g, core_iters, halo_iters used.
+  int p = 0;                     ///< neighbours for the grouped message.
+  std::int64_t m_r = 0;          ///< grouped message bytes (Eq 4).
+};
+
+/// Eq (3): the chain executed with CA.
+double t_ca_chain(const Machine& mach, const ChainTerms& t);
+
+/// Convenience: percentage gain of CA over OP2 (positive = CA faster).
+double gain_percent(double t_op2, double t_ca);
+
+}  // namespace op2ca::model

@@ -1,0 +1,21 @@
+#include "op2ca/partition/partition.hpp"
+
+namespace op2ca::partition {
+
+std::vector<rank_t> partition_block(gidx_t n, int nranks) {
+  OP2CA_REQUIRE(nranks >= 1, "partition_block needs nranks >= 1");
+  std::vector<rank_t> assign(static_cast<std::size_t>(n));
+  // Distribute the remainder one element at a time so sizes differ by at
+  // most one.
+  const gidx_t base = n / nranks;
+  const gidx_t rem = n % nranks;
+  gidx_t e = 0;
+  for (rank_t r = 0; r < nranks; ++r) {
+    const gidx_t count = base + (r < rem ? 1 : 0);
+    for (gidx_t i = 0; i < count; ++i)
+      assign[static_cast<std::size_t>(e++)] = r;
+  }
+  return assign;
+}
+
+}  // namespace op2ca::partition

@@ -1,0 +1,124 @@
+#include "op2ca/partition/partition.hpp"
+
+#include <deque>
+
+#include "op2ca/util/log.hpp"
+
+namespace op2ca::partition {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::Block: return "block";
+    case Kind::RIB: return "rib";
+    case Kind::KWay: return "kway";
+  }
+  return "?";
+}
+
+Partition partition_mesh(const mesh::MeshDef& mesh, int nranks, Kind kind,
+                         mesh::set_id seed_set) {
+  OP2CA_REQUIRE(nranks >= 1, "partition_mesh needs nranks >= 1");
+  OP2CA_REQUIRE(seed_set >= 0 && seed_set < mesh.num_sets(),
+                "partition_mesh: seed set out of range");
+
+  Partition part;
+  part.nranks = nranks;
+  part.assignment.resize(static_cast<std::size_t>(mesh.num_sets()));
+
+  const gidx_t nseed = mesh.set(seed_set).size;
+  std::vector<rank_t>& seed_assign =
+      part.assignment[static_cast<std::size_t>(seed_set)];
+  switch (kind) {
+    case Kind::Block:
+      seed_assign = partition_block(nseed, nranks);
+      break;
+    case Kind::RIB: {
+      const std::vector<double> coords = mesh::derive_coords(mesh, seed_set);
+      const int dim = mesh.dat(mesh.coords_dat()).dim;
+      seed_assign = partition_rib(coords, dim, nseed, nranks);
+      break;
+    }
+    case Kind::KWay: {
+      const mesh::Csr graph = mesh::set_graph(mesh, seed_set);
+      seed_assign = partition_kway(graph, nranks);
+      break;
+    }
+  }
+
+  propagate_ownership(mesh, seed_set, &part);
+  return part;
+}
+
+void propagate_ownership(const mesh::MeshDef& mesh, mesh::set_id seed,
+                         Partition* part) {
+  const int nsets = mesh.num_sets();
+  std::vector<bool> assigned(static_cast<std::size_t>(nsets), false);
+  assigned[static_cast<std::size_t>(seed)] = true;
+
+  // Breadth-first over sets: a set becomes assignable once it shares a map
+  // with an assigned set (in either direction).
+  std::deque<mesh::set_id> frontier{seed};
+  while (!frontier.empty()) {
+    const mesh::set_id cur = frontier.front();
+    frontier.pop_front();
+
+    for (mesh::map_id m = 0; m < mesh.num_maps(); ++m) {
+      const mesh::MapDef& mp = mesh.map(m);
+
+      // Forward: from-set unassigned, to-set = cur. Owner of an element is
+      // the owner of its first map target.
+      if (mp.to == cur && !assigned[static_cast<std::size_t>(mp.from)]) {
+        const gidx_t nfrom = mesh.set(mp.from).size;
+        auto& out = part->assignment[static_cast<std::size_t>(mp.from)];
+        out.resize(static_cast<std::size_t>(nfrom));
+        const auto& src = part->assignment[static_cast<std::size_t>(mp.to)];
+        for (gidx_t e = 0; e < nfrom; ++e)
+          out[static_cast<std::size_t>(e)] =
+              src[static_cast<std::size_t>(
+                  mp.targets[static_cast<std::size_t>(e * mp.arity)])];
+        assigned[static_cast<std::size_t>(mp.from)] = true;
+        frontier.push_back(mp.from);
+      }
+
+      // Reverse: to-set unassigned, from-set = cur. Owner of a target is
+      // the owner of the lowest-numbered incident source element.
+      if (mp.from == cur && !assigned[static_cast<std::size_t>(mp.to)]) {
+        const gidx_t nto = mesh.set(mp.to).size;
+        auto& out = part->assignment[static_cast<std::size_t>(mp.to)];
+        out.assign(static_cast<std::size_t>(nto), -1);
+        const auto& src = part->assignment[static_cast<std::size_t>(mp.from)];
+        const gidx_t nfrom = mesh.set(mp.from).size;
+        for (gidx_t e = 0; e < nfrom; ++e)
+          for (int k = 0; k < mp.arity; ++k) {
+            const gidx_t t =
+                mp.targets[static_cast<std::size_t>(e * mp.arity + k)];
+            if (out[static_cast<std::size_t>(t)] < 0)
+              out[static_cast<std::size_t>(t)] =
+                  src[static_cast<std::size_t>(e)];
+          }
+        // Targets never referenced by the map fall back to block layout.
+        const std::vector<rank_t> blocks =
+            partition_block(nto, part->nranks);
+        for (gidx_t t = 0; t < nto; ++t)
+          if (out[static_cast<std::size_t>(t)] < 0)
+            out[static_cast<std::size_t>(t)] =
+                blocks[static_cast<std::size_t>(t)];
+        assigned[static_cast<std::size_t>(mp.to)] = true;
+        frontier.push_back(mp.to);
+      }
+    }
+  }
+
+  // Fully disconnected sets: block partition, with a warning since this
+  // usually indicates a mesh construction mistake.
+  for (mesh::set_id s = 0; s < nsets; ++s) {
+    if (assigned[static_cast<std::size_t>(s)]) continue;
+    OP2CA_LOG_WARN << "set '" << mesh.set(s).name
+                   << "' is disconnected from the seed set; using block "
+                      "partition";
+    part->assignment[static_cast<std::size_t>(s)] =
+        partition_block(mesh.set(s).size, part->nranks);
+  }
+}
+
+}  // namespace op2ca::partition

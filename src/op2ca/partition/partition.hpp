@@ -1,0 +1,51 @@
+// Mesh partitioning: assigns every element of every set to an owning rank
+// (OP2's owner-compute model). A seed set is partitioned directly —
+// geometrically (RIB), by graph growing (k-way) or trivially (block) —
+// and ownership propagates to all other sets through the maps, so
+// connected entities land on nearby ranks.
+#pragma once
+
+#include <vector>
+
+#include "op2ca/mesh/adjacency.hpp"
+#include "op2ca/mesh/mesh_def.hpp"
+#include "op2ca/util/types.hpp"
+
+namespace op2ca::partition {
+
+enum class Kind {
+  Block,  ///< contiguous index blocks (fast, poor locality).
+  RIB,    ///< recursive inertial bisection (Hydra's default partitioner).
+  KWay,   ///< greedy graph-growing k-way + refinement (ParMETIS stand-in).
+};
+
+const char* kind_name(Kind k);
+
+/// Ownership of every element of every set.
+struct Partition {
+  int nranks = 0;
+  /// assignment[set][element] = owning rank.
+  std::vector<std::vector<rank_t>> assignment;
+
+  rank_t owner(mesh::set_id s, gidx_t e) const {
+    return assignment[static_cast<std::size_t>(s)][static_cast<std::size_t>(e)];
+  }
+};
+
+/// Partitions `seed_set` with the chosen method and propagates ownership
+/// to every other set through the mesh maps (breadth-first over the
+/// set-connectivity graph; disconnected sets fall back to block).
+Partition partition_mesh(const mesh::MeshDef& mesh, int nranks, Kind kind,
+                         mesh::set_id seed_set);
+
+/// Seed-set partitioners (exposed for tests).
+std::vector<rank_t> partition_block(gidx_t n, int nranks);
+std::vector<rank_t> partition_rib(const std::vector<double>& coords, int dim,
+                                  gidx_t n, int nranks);
+std::vector<rank_t> partition_kway(const mesh::Csr& graph, int nranks);
+
+/// Propagates seed-set ownership to all remaining sets (exposed for tests).
+void propagate_ownership(const mesh::MeshDef& mesh, mesh::set_id seed,
+                         Partition* part);
+
+}  // namespace op2ca::partition

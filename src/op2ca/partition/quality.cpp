@@ -1,0 +1,50 @@
+#include "op2ca/partition/quality.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace op2ca::partition {
+
+Quality evaluate_partition(const mesh::MeshDef& mesh, const Partition& part,
+                           mesh::set_id s) {
+  const mesh::Csr graph = mesh::set_graph(mesh, s);
+  const gidx_t n = graph.num_rows();
+  const auto& assign = part.assignment[static_cast<std::size_t>(s)];
+  OP2CA_REQUIRE(static_cast<gidx_t>(assign.size()) == n,
+                "evaluate_partition: assignment size mismatch");
+
+  Quality q;
+  std::vector<gidx_t> sizes(static_cast<std::size_t>(part.nranks), 0);
+  for (rank_t r : assign) ++sizes[static_cast<std::size_t>(r)];
+
+  std::vector<std::set<rank_t>> neighbors(
+      static_cast<std::size_t>(part.nranks));
+  for (gidx_t v = 0; v < n; ++v) {
+    const rank_t rv = assign[static_cast<std::size_t>(v)];
+    for (gidx_t u : graph.row(v)) {
+      if (u <= v) continue;  // count each undirected edge once
+      const rank_t ru = assign[static_cast<std::size_t>(u)];
+      if (ru != rv) {
+        ++q.edge_cut;
+        neighbors[static_cast<std::size_t>(rv)].insert(ru);
+        neighbors[static_cast<std::size_t>(ru)].insert(rv);
+      }
+    }
+  }
+
+  q.min_part = *std::min_element(sizes.begin(), sizes.end());
+  q.max_part = *std::max_element(sizes.begin(), sizes.end());
+  const double mean =
+      static_cast<double>(n) / static_cast<double>(part.nranks);
+  q.imbalance = mean > 0 ? static_cast<double>(q.max_part) / mean : 0.0;
+
+  double total_neighbors = 0;
+  for (const auto& nb : neighbors) {
+    total_neighbors += static_cast<double>(nb.size());
+    q.max_neighbors = std::max(q.max_neighbors, static_cast<int>(nb.size()));
+  }
+  q.avg_neighbors = total_neighbors / static_cast<double>(part.nranks);
+  return q;
+}
+
+}  // namespace op2ca::partition

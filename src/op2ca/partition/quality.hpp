@@ -1,0 +1,23 @@
+// Partition quality metrics: load imbalance, edge cut and neighbour
+// statistics. The analytic model's p (max neighbours per rank) comes from
+// here before any halo structure is built.
+#pragma once
+
+#include "op2ca/partition/partition.hpp"
+
+namespace op2ca::partition {
+
+struct Quality {
+  double imbalance = 0.0;      ///< max part size / mean part size.
+  gidx_t edge_cut = 0;         ///< graph edges crossing parts (seed set).
+  double avg_neighbors = 0.0;  ///< mean #neighbour parts per part.
+  int max_neighbors = 0;       ///< max #neighbour parts of any part (p).
+  gidx_t min_part = 0;
+  gidx_t max_part = 0;
+};
+
+/// Evaluates the partition of `s` using the symmetric set graph of `s`.
+Quality evaluate_partition(const mesh::MeshDef& mesh, const Partition& part,
+                           mesh::set_id s);
+
+}  // namespace op2ca::partition

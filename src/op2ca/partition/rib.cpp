@@ -1,0 +1,123 @@
+// Recursive inertial bisection: at each level, project elements onto the
+// principal axis of their coordinate distribution (dominant eigenvector of
+// the covariance matrix, found by power iteration) and split at the
+// weighted median so each side receives a rank count proportional share.
+// This is the scheme Hydra's default partitioner uses.
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "op2ca/partition/partition.hpp"
+
+namespace op2ca::partition {
+namespace {
+
+struct Split {
+  std::vector<gidx_t> left, right;
+};
+
+/// Principal axis of the points listed in `idx` (up to 3D).
+std::array<double, 3> principal_axis(const std::vector<double>& coords,
+                                     int dim,
+                                     const std::vector<gidx_t>& idx) {
+  std::array<double, 3> mean{0, 0, 0};
+  for (gidx_t e : idx)
+    for (int d = 0; d < dim; ++d)
+      mean[static_cast<std::size_t>(d)] +=
+          coords[static_cast<std::size_t>(e) * static_cast<std::size_t>(dim) +
+                 static_cast<std::size_t>(d)];
+  for (int d = 0; d < dim; ++d)
+    mean[static_cast<std::size_t>(d)] /= static_cast<double>(idx.size());
+
+  // Covariance (upper triangle).
+  double cov[3][3] = {{0}};
+  for (gidx_t e : idx) {
+    double v[3] = {0, 0, 0};
+    for (int d = 0; d < dim; ++d)
+      v[d] = coords[static_cast<std::size_t>(e) * static_cast<std::size_t>(dim) +
+                    static_cast<std::size_t>(d)] -
+             mean[static_cast<std::size_t>(d)];
+    for (int a = 0; a < dim; ++a)
+      for (int b = 0; b < dim; ++b) cov[a][b] += v[a] * v[b];
+  }
+
+  // Power iteration from a fixed direction; a handful of iterations is
+  // plenty for a bisection axis.
+  std::array<double, 3> axis{1.0, 0.577, 0.317};
+  for (int it = 0; it < 24; ++it) {
+    std::array<double, 3> next{0, 0, 0};
+    for (int a = 0; a < dim; ++a)
+      for (int b = 0; b < dim; ++b)
+        next[static_cast<std::size_t>(a)] +=
+            cov[a][b] * axis[static_cast<std::size_t>(b)];
+    double norm = 0;
+    for (int d = 0; d < dim; ++d)
+      norm += next[static_cast<std::size_t>(d)] *
+              next[static_cast<std::size_t>(d)];
+    norm = std::sqrt(norm);
+    if (norm < 1e-30) break;  // degenerate (all points coincide)
+    for (int d = 0; d < dim; ++d)
+      axis[static_cast<std::size_t>(d)] =
+          next[static_cast<std::size_t>(d)] / norm;
+  }
+  return axis;
+}
+
+/// Splits `idx` into two groups of sizes proportional to nleft : nright.
+Split bisect(const std::vector<double>& coords, int dim,
+             std::vector<gidx_t> idx, int nleft, int nright) {
+  const std::array<double, 3> axis = principal_axis(coords, dim, idx);
+  auto proj = [&](gidx_t e) {
+    double p = 0;
+    for (int d = 0; d < dim; ++d)
+      p += axis[static_cast<std::size_t>(d)] *
+           coords[static_cast<std::size_t>(e) * static_cast<std::size_t>(dim) +
+                  static_cast<std::size_t>(d)];
+    return p;
+  };
+  const std::size_t k = idx.size() * static_cast<std::size_t>(nleft) /
+                        static_cast<std::size_t>(nleft + nright);
+  std::nth_element(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                   idx.end(), [&](gidx_t a, gidx_t b) {
+                     const double pa = proj(a), pb = proj(b);
+                     if (pa != pb) return pa < pb;
+                     return a < b;  // deterministic tie-break
+                   });
+  Split s;
+  s.left.assign(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k));
+  s.right.assign(idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end());
+  return s;
+}
+
+void rib_recurse(const std::vector<double>& coords, int dim,
+                 std::vector<gidx_t> idx, rank_t first_rank, int nranks,
+                 std::vector<rank_t>* out) {
+  if (nranks == 1) {
+    for (gidx_t e : idx) (*out)[static_cast<std::size_t>(e)] = first_rank;
+    return;
+  }
+  const int nleft = nranks / 2;
+  const int nright = nranks - nleft;
+  Split s = bisect(coords, dim, std::move(idx), nleft, nright);
+  rib_recurse(coords, dim, std::move(s.left), first_rank, nleft, out);
+  rib_recurse(coords, dim, std::move(s.right), first_rank + nleft, nright,
+              out);
+}
+
+}  // namespace
+
+std::vector<rank_t> partition_rib(const std::vector<double>& coords, int dim,
+                                  gidx_t n, int nranks) {
+  OP2CA_REQUIRE(dim >= 1 && dim <= 3, "partition_rib: dim must be 1..3");
+  OP2CA_REQUIRE(static_cast<gidx_t>(coords.size()) == n * dim,
+                "partition_rib: coords size mismatch");
+  OP2CA_REQUIRE(nranks >= 1, "partition_rib needs nranks >= 1");
+  std::vector<rank_t> assign(static_cast<std::size_t>(n), 0);
+  std::vector<gidx_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), gidx_t{0});
+  rib_recurse(coords, dim, std::move(idx), 0, nranks, &assign);
+  return assign;
+}
+
+}  // namespace op2ca::partition

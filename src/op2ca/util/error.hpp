@@ -1,0 +1,39 @@
+// Error handling for op2ca.
+//
+// The library throws op2ca::Error for all recoverable misuse (bad arity,
+// unknown set, insufficient halo depth, ...). OP2CA_REQUIRE is used at API
+// boundaries; OP2CA_ASSERT guards internal invariants and compiles to a
+// cheap check that is kept in release builds because every call site is
+// outside inner loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace op2ca {
+
+/// Exception type thrown by every op2ca component on API misuse or
+/// violated invariants. Carries a human-readable message with context.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void raise(const std::string& msg) { throw Error(msg); }
+
+namespace detail {
+[[noreturn]] void raise_with_location(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace op2ca
+
+/// Precondition check at public API boundaries. Always enabled.
+#define OP2CA_REQUIRE(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond))                                                            \
+      ::op2ca::detail::raise_with_location(#cond, __FILE__, __LINE__, msg); \
+  } while (0)
+
+/// Internal invariant check. Always enabled (call sites are cold paths).
+#define OP2CA_ASSERT(cond, msg) OP2CA_REQUIRE(cond, msg)

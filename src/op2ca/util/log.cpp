@@ -1,0 +1,72 @@
+#include "op2ca/util/log.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca {
+
+namespace detail {
+[[noreturn]] void raise_with_location(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [failed: " << expr << " at " << file << ":" << line << "]";
+  throw Error(os.str());
+}
+}  // namespace detail
+
+namespace log {
+namespace {
+
+Level initial_level() {
+  if (const char* env = std::getenv("OP2CA_LOG")) return parse_level(env);
+  return Level::Warn;
+}
+
+std::atomic<Level>& level_ref() {
+  static std::atomic<Level> lvl{initial_level()};
+  return lvl;
+}
+
+std::mutex& emit_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::Error: return "ERROR";
+    case Level::Warn: return "WARN ";
+    case Level::Info: return "INFO ";
+    case Level::Debug: return "DEBUG";
+    case Level::Trace: return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+Level level() { return level_ref().load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) {
+  level_ref().store(lvl, std::memory_order_relaxed);
+}
+
+Level parse_level(const std::string& name) {
+  if (name == "error") return Level::Error;
+  if (name == "warn") return Level::Warn;
+  if (name == "info") return Level::Info;
+  if (name == "debug") return Level::Debug;
+  if (name == "trace") return Level::Trace;
+  return Level::Warn;
+}
+
+void emit(Level lvl, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(emit_mutex());
+  std::cerr << "[op2ca:" << level_name(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace log
+}  // namespace op2ca

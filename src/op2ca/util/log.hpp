@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe (one global mutex around emission),
+// printf-free, stream-style. Level is process-wide and settable from the
+// OP2CA_LOG environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace op2ca::log {
+
+enum class Level : int { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/// Current global log level. Defaults to Warn; overridable via OP2CA_LOG.
+Level level();
+void set_level(Level lvl);
+Level parse_level(const std::string& name);
+
+/// Emits one formatted line; used by the LOG_* macros below.
+void emit(Level lvl, const std::string& msg);
+
+namespace detail {
+class LineSink {
+public:
+  explicit LineSink(Level lvl) : lvl_(lvl) {}
+  ~LineSink() { emit(lvl_, os_.str()); }
+  LineSink(const LineSink&) = delete;
+  LineSink& operator=(const LineSink&) = delete;
+  template <typename T>
+  LineSink& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace op2ca::log
+
+#define OP2CA_LOG(lvl)                                  \
+  if (::op2ca::log::level() < ::op2ca::log::Level::lvl) \
+    ;                                                   \
+  else                                                  \
+    ::op2ca::log::detail::LineSink(::op2ca::log::Level::lvl)
+
+#define OP2CA_LOG_ERROR OP2CA_LOG(Error)
+#define OP2CA_LOG_WARN OP2CA_LOG(Warn)
+#define OP2CA_LOG_INFO OP2CA_LOG(Info)
+#define OP2CA_LOG_DEBUG OP2CA_LOG(Debug)
+#define OP2CA_LOG_TRACE OP2CA_LOG(Trace)

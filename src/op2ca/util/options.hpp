@@ -1,0 +1,35 @@
+// Tiny command-line option parser used by benches and examples.
+// Supports `--name=value`, `--name value`, boolean `--flag`, with typed
+// accessors and defaults. Unknown options raise so typos do not silently
+// change an experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace op2ca {
+
+class Options {
+public:
+  /// Parses argv. `known` lists accepted option names (without leading --).
+  Options(int argc, const char* const* argv, std::set<std::string> known);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Non-option positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace op2ca

@@ -1,0 +1,94 @@
+#include "op2ca/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::min() const {
+  OP2CA_REQUIRE(n_ > 0, "Accumulator::min on empty accumulator");
+  return min_;
+}
+
+double Accumulator::max() const {
+  OP2CA_REQUIRE(n_ > 0, "Accumulator::max on empty accumulator");
+  return max_;
+}
+
+double Accumulator::mean() const {
+  OP2CA_REQUIRE(n_ > 0, "Accumulator::mean on empty accumulator");
+  return mean_;
+}
+
+double Accumulator::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::cov() const {
+  if (n_ == 0 || mean_ == 0.0) return 0.0;
+  return stddev() / std::abs(mean_);
+}
+
+Summary summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return summarize(acc);
+}
+
+Summary summarize(const Accumulator& acc) {
+  Summary s;
+  s.count = acc.count();
+  if (s.count > 0) {
+    s.min = acc.min();
+    s.max = acc.max();
+    s.mean = acc.mean();
+    s.stddev = acc.stddev();
+  }
+  s.sum = acc.sum();
+  return s;
+}
+
+double vec_max(std::span<const double> xs) {
+  double m = 0.0;
+  for (double x : xs) m = std::max(m, x);
+  return m;
+}
+
+std::int64_t vec_max(std::span<const std::int64_t> xs) {
+  std::int64_t m = 0;
+  for (std::int64_t x : xs) m = std::max(m, x);
+  return m;
+}
+
+double vec_sum(std::span<const double> xs) {
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s;
+}
+
+std::int64_t vec_sum(std::span<const std::int64_t> xs) {
+  std::int64_t s = 0;
+  for (std::int64_t x : xs) s += x;
+  return s;
+}
+
+}  // namespace op2ca

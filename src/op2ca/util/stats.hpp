@@ -1,0 +1,51 @@
+// Small statistics helpers: running accumulator (min/max/mean/stddev) and
+// reductions over vectors. Used for per-rank communication statistics and
+// for reporting run-to-run variation in benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace op2ca {
+
+/// Streaming accumulator using Welford's algorithm.
+class Accumulator {
+public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  ///< Sample variance (n-1 denominator).
+  double stddev() const;
+  double sum() const { return sum_; }
+  /// Coefficient of variation (stddev / mean); 0 when mean is 0.
+  double cov() const;
+
+private:
+  std::size_t n_ = 0;
+  double min_ = 0.0, max_ = 0.0;
+  double mean_ = 0.0, m2_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a finished accumulation, convenient for struct returns.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0, max = 0.0, mean = 0.0, stddev = 0.0, sum = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+Summary summarize(const Accumulator& acc);
+
+/// Maximum over a vector of per-rank values (the analytic model uses
+/// critical-path maxima throughout).
+double vec_max(std::span<const double> xs);
+std::int64_t vec_max(std::span<const std::int64_t> xs);
+double vec_sum(std::span<const double> xs);
+std::int64_t vec_sum(std::span<const std::int64_t> xs);
+
+}  // namespace op2ca

@@ -1,0 +1,117 @@
+#include "op2ca/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca {
+
+void Table::set_header(std::vector<std::string> names) {
+  header_ = std::move(names);
+}
+
+void Table::add_row(std::vector<Cell> cells) {
+  OP2CA_REQUIRE(header_.empty() || cells.size() == header_.size(),
+                "Table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::set_precision(int digits) { precision_ = digits; }
+
+std::string Table::render_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<std::int64_t>(&c)) return std::to_string(*i);
+  return format_double(std::get<double>(c), precision_);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size() + 1);
+  if (!header_.empty()) cells.push_back(header_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(render_cell(c));
+    cells.push_back(std::move(r));
+  }
+
+  std::vector<std::size_t> width;
+  for (const auto& row : cells) {
+    if (row.size() > width.size()) width.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      width[i] = std::max(width[i], row[i].size());
+  }
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  bool first = true;
+  for (const auto& row : cells) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << std::setw(static_cast<int>(width[i])) << row[i];
+      if (i + 1 < row.size()) os << "  ";
+    }
+    os << '\n';
+    if (first && !header_.empty()) {
+      for (std::size_t i = 0; i < width.size(); ++i) {
+        os << std::string(width[i], '-');
+        if (i + 1 < width.size()) os << "  ";
+      }
+      os << '\n';
+      first = false;
+    }
+  }
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit_row = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      const std::string& cell = row[i];
+      const bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(render_cell(c));
+    emit_row(r);
+  }
+}
+
+void Table::print() const { print(std::cout); }
+
+std::string format_double(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+std::string format_count(std::int64_t v) {
+  std::string raw = std::to_string(v < 0 ? -v : v);
+  std::string out;
+  int cnt = 0;
+  for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+    if (cnt && cnt % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++cnt;
+  }
+  if (v < 0) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace op2ca

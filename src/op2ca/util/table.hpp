@@ -1,0 +1,49 @@
+// ASCII table and CSV emission for bench harnesses. Every table/figure
+// bench prints a paper-style table through this module so output formats
+// stay consistent and machine-parseable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace op2ca {
+
+/// One cell: string, integer or floating value (fixed formatting applied).
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+/// Column-aligned ASCII table with an optional title, printable to any
+/// stream and exportable to CSV.
+class Table {
+public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> names);
+  void add_row(std::vector<Cell> cells);
+  /// Number of fractional digits used when rendering doubles (default 3).
+  void set_precision(int digits);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  const std::string& title() const { return title_; }
+
+  void print(std::ostream& os) const;
+  void write_csv(std::ostream& os) const;
+  /// Convenience: print to stdout.
+  void print() const;
+
+private:
+  std::string render_cell(const Cell& c) const;
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 3;
+};
+
+/// Formats a double with `digits` fractional digits into a string.
+std::string format_double(double v, int digits);
+/// Formats bytes with thousands separators for readability.
+std::string format_count(std::int64_t v);
+
+}  // namespace op2ca

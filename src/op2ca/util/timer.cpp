@@ -1,0 +1,3 @@
+// timer.hpp is header-only; this TU exists so the build exposes a stable
+// object for the target and future non-inline additions.
+#include "op2ca/util/timer.hpp"

@@ -1,0 +1,61 @@
+// Wall-clock and virtual timers.
+//
+// WallTimer measures real host time (used for kernel-cost calibration and
+// small-scale execution benches). VirtualClock accumulates modeled time in
+// seconds as charged by the communication cost model; every simulated rank
+// owns one, so experiments at paper scale report machine-parameterised
+// times rather than this host's.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace op2ca {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+public:
+  WallTimer() { reset(); }
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulator for modeled (simulated-machine) time.
+class VirtualClock {
+public:
+  void advance(double seconds) { t_ += seconds; }
+  /// Fast-forwards to `seconds` if it is later than the current time;
+  /// models waiting on an event that completes at an absolute time.
+  void advance_to(double seconds) {
+    if (seconds > t_) t_ = seconds;
+  }
+  double now() const { return t_; }
+  void reset() { t_ = 0.0; }
+
+private:
+  double t_ = 0.0;
+};
+
+/// Scoped accumulation of wall time into a double.
+class ScopedWallTimer {
+public:
+  explicit ScopedWallTimer(double& sink) : sink_(sink) {}
+  ~ScopedWallTimer() { sink_ += timer_.elapsed(); }
+  ScopedWallTimer(const ScopedWallTimer&) = delete;
+  ScopedWallTimer& operator=(const ScopedWallTimer&) = delete;
+
+private:
+  double& sink_;
+  WallTimer timer_;
+};
+
+}  // namespace op2ca

@@ -1,0 +1,22 @@
+// Fundamental index and size types shared across op2ca.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace op2ca {
+
+/// Global element index within a set (mesh-wide numbering).
+using gidx_t = std::int64_t;
+/// Local element index within a rank's renumbered set.
+using lidx_t = std::int32_t;
+/// Rank id in the simulated communicator.
+using rank_t = std::int32_t;
+
+inline constexpr lidx_t kInvalidLocal = -1;
+inline constexpr gidx_t kInvalidGlobal = -1;
+
+using GIdxVec = std::vector<gidx_t>;
+using LIdxVec = std::vector<lidx_t>;
+
+}  // namespace op2ca

@@ -1,0 +1,32 @@
+// Shared helpers for runtime-level tests.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace op2ca::testutil {
+
+/// Element-wise near-equality with mixed absolute/relative tolerance
+/// (iteration reorder across partitions perturbs increment sums at the
+/// machine-precision level).
+inline void expect_allclose(const std::vector<double>& a,
+                            const std::vector<double>& b,
+                            double tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  double worst = 0.0;
+  std::size_t worst_i = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double scale = std::max({1.0, std::abs(a[i]), std::abs(b[i])});
+    const double err = std::abs(a[i] - b[i]) / scale;
+    if (err > worst) {
+      worst = err;
+      worst_i = i;
+    }
+  }
+  EXPECT_LE(worst, tol) << "worst mismatch at index " << worst_i << ": "
+                        << a[worst_i] << " vs " << b[worst_i];
+}
+
+}  // namespace op2ca::testutil

@@ -1,0 +1,149 @@
+// Unit tests for the partitioners and ownership propagation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "op2ca/mesh/annulus.hpp"
+#include "op2ca/mesh/quad2d.hpp"
+#include "op2ca/partition/partition.hpp"
+#include "op2ca/partition/quality.hpp"
+#include "op2ca/util/rng.hpp"
+
+namespace op2ca::partition {
+namespace {
+
+TEST(Block, BalancedSizes) {
+  const auto a = partition_block(10, 3);
+  std::vector<int> count(3, 0);
+  for (rank_t r : a) ++count[static_cast<size_t>(r)];
+  EXPECT_EQ(count[0], 4);
+  EXPECT_EQ(count[1], 3);
+  EXPECT_EQ(count[2], 3);
+  // Contiguity.
+  for (size_t i = 1; i < a.size(); ++i) EXPECT_GE(a[i], a[i - 1]);
+}
+
+TEST(Rib, BalancedAndDeterministic) {
+  mesh::Quad2D q = mesh::make_quad2d(16, 16);
+  const std::vector<double> coords =
+      mesh::derive_coords(q.mesh, q.nodes);
+  const gidx_t n = q.mesh.set(q.nodes).size;
+  const auto a = partition_rib(coords, 2, n, 4);
+  const auto b = partition_rib(coords, 2, n, 4);
+  EXPECT_EQ(a, b);
+  std::vector<gidx_t> count(4, 0);
+  for (rank_t r : a) ++count[static_cast<size_t>(r)];
+  for (gidx_t c : count) {
+    EXPECT_GE(c, n / 4 - 2);
+    EXPECT_LE(c, n / 4 + 2);
+  }
+}
+
+TEST(Rib, NonPowerOfTwoRanks) {
+  mesh::Quad2D q = mesh::make_quad2d(15, 11);
+  const auto coords = mesh::derive_coords(q.mesh, q.nodes);
+  const gidx_t n = q.mesh.set(q.nodes).size;
+  const auto a = partition_rib(coords, 2, n, 5);
+  std::set<rank_t> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 5u);
+  std::vector<gidx_t> count(5, 0);
+  for (rank_t r : a) ++count[static_cast<size_t>(r)];
+  for (gidx_t c : count) EXPECT_GT(c, 0);
+}
+
+TEST(KWay, BalancedAndConnectedish) {
+  mesh::Quad2D q = mesh::make_quad2d(20, 20);
+  const mesh::Csr g = mesh::set_graph(q.mesh, q.nodes);
+  const auto a = partition_kway(g, 7);
+  std::vector<gidx_t> count(7, 0);
+  for (rank_t r : a) ++count[static_cast<size_t>(r)];
+  const gidx_t n = g.num_rows();
+  for (gidx_t c : count) {
+    EXPECT_GT(c, n / 14);       // no empty/starved part
+    EXPECT_LT(c, n * 2 / 7);    // no bloated part
+  }
+}
+
+TEST(KWay, SingleRank) {
+  mesh::Quad2D q = mesh::make_quad2d(4, 4);
+  const mesh::Csr g = mesh::set_graph(q.mesh, q.nodes);
+  const auto a = partition_kway(g, 1);
+  for (rank_t r : a) EXPECT_EQ(r, 0);
+}
+
+TEST(PartitionMesh, AllSetsAssigned) {
+  mesh::Annulus an = mesh::make_annulus(4, 6, 8);
+  for (Kind kind : {Kind::Block, Kind::RIB, Kind::KWay}) {
+    const Partition p = partition_mesh(an.mesh, 5, kind, an.nodes);
+    ASSERT_EQ(static_cast<int>(p.assignment.size()), an.mesh.num_sets());
+    for (mesh::set_id s = 0; s < an.mesh.num_sets(); ++s) {
+      ASSERT_EQ(static_cast<gidx_t>(
+                    p.assignment[static_cast<size_t>(s)].size()),
+                an.mesh.set(s).size)
+          << "set " << an.mesh.set(s).name << " kind " << kind_name(kind);
+      for (rank_t r : p.assignment[static_cast<size_t>(s)]) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, 5);
+      }
+    }
+  }
+}
+
+TEST(PartitionMesh, DerivedSetsFollowSeed) {
+  // An edge's owner must own one of its nodes (locality of propagation).
+  mesh::Quad2D q = mesh::make_quad2d(12, 12);
+  const Partition p = partition_mesh(q.mesh, 4, Kind::RIB, q.nodes);
+  const mesh::MapDef& e2n = q.mesh.map(q.e2n);
+  for (gidx_t e = 0; e < q.mesh.set(q.edges).size; ++e) {
+    const rank_t re = p.owner(q.edges, e);
+    const rank_t r0 =
+        p.owner(q.nodes, e2n.targets[static_cast<size_t>(2 * e)]);
+    EXPECT_EQ(re, r0);  // owner-of-first-target rule
+  }
+}
+
+TEST(Quality, MetricsSane) {
+  mesh::Quad2D q = mesh::make_quad2d(24, 24);
+  const Partition rib = partition_mesh(q.mesh, 8, Kind::RIB, q.nodes);
+  const Quality quality = evaluate_partition(q.mesh, rib, q.nodes);
+  EXPECT_GT(quality.edge_cut, 0);
+  EXPECT_GE(quality.max_neighbors, 1);
+  EXPECT_LT(quality.imbalance, 1.3);
+  EXPECT_GT(quality.min_part, 0);
+}
+
+TEST(Quality, KWayCutBeatsRandomByFar) {
+  // Graph-aware partitioning must cut far fewer edges than a random
+  // assignment of the same balance. (Index blocks on a row-major grid
+  // are already near-optimal strips, so random is the honest baseline.)
+  mesh::Quad2D q = mesh::make_quad2d(32, 32);
+  const Partition kw = partition_mesh(q.mesh, 8, Kind::KWay, q.nodes);
+  const Quality qk = evaluate_partition(q.mesh, kw, q.nodes);
+
+  Partition rnd = kw;
+  Rng rng(3);
+  for (auto& r : rnd.assignment[static_cast<size_t>(q.nodes)])
+    r = static_cast<rank_t>(rng.next_int(0, 7));
+  const Quality qr = evaluate_partition(q.mesh, rnd, q.nodes);
+  EXPECT_LT(qk.edge_cut, qr.edge_cut / 3);
+}
+
+TEST(Quality, KWayCutComparableToBlockStrips) {
+  // Row-major block strips are near-optimal on a square grid; kway
+  // should stay within a small factor of them.
+  mesh::Quad2D q = mesh::make_quad2d(32, 32);
+  const Partition blk = partition_mesh(q.mesh, 8, Kind::Block, q.nodes);
+  const Partition kw = partition_mesh(q.mesh, 8, Kind::KWay, q.nodes);
+  const Quality qb = evaluate_partition(q.mesh, blk, q.nodes);
+  const Quality qk = evaluate_partition(q.mesh, kw, q.nodes);
+  EXPECT_LE(qk.edge_cut, 2 * qb.edge_cut);
+}
+
+TEST(PartitionMesh, MoreRanksThanElementsRejected) {
+  mesh::Quad2D q = mesh::make_quad2d(2, 2);  // 9 nodes
+  EXPECT_THROW(partition_mesh(q.mesh, 100, Kind::KWay, q.nodes),
+               op2ca::Error);
+}
+
+}  // namespace
+}  // namespace op2ca::partition

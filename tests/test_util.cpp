@@ -1,0 +1,154 @@
+// Unit tests for the util module: stats, RNG, tables, options, errors.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/options.hpp"
+#include "op2ca/util/rng.hpp"
+#include "op2ca/util/stats.hpp"
+#include "op2ca/util/table.hpp"
+#include "op2ca/util/timer.hpp"
+
+namespace op2ca {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyRaises) {
+  Accumulator acc;
+  EXPECT_THROW(acc.mean(), Error);
+  EXPECT_THROW(acc.min(), Error);
+}
+
+TEST(Accumulator, SingleValueHasZeroVariance) {
+  Accumulator acc;
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.cov(), 0.0);
+}
+
+TEST(Summary, FromSpan) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.sum, 6.0);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, SplitIndependence) {
+  Rng a(42);
+  Rng s1 = a.split(1), s2 = a.split(2);
+  EXPECT_NE(s1.next_u64(), s2.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+    const std::int64_t n = rng.next_int(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(Rng, IntDistributionCoversRange) {
+  Rng rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.next_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Table, PrintAndCsv) {
+  Table t("demo");
+  t.set_header({"name", "count", "ratio"});
+  t.add_row({std::string("a"), std::int64_t{42}, 0.5});
+  t.add_row({std::string("b,c"), std::int64_t{7}, 1.25});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_NE(os.str().find("demo"), std::string::npos);
+  EXPECT_NE(os.str().find("42"), std::string::npos);
+
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("\"b,c\""), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchRaises) {
+  Table t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("only-one")}), Error);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_count(1234567), "1,234,567");
+  EXPECT_EQ(format_count(-1000), "-1,000");
+  EXPECT_EQ(format_count(12), "12");
+}
+
+TEST(Options, ParsesForms) {
+  // Note: a known option followed by a bare token consumes it as a
+  // value, so boolean flags must use --flag=true or come last.
+  const char* argv[] = {"prog",        "--nodes=4", "--mesh", "8M",
+                        "positional",  "--ratio=0.5", "--flag"};
+  Options opt(7, argv, {"nodes", "mesh", "flag", "ratio"});
+  EXPECT_EQ(opt.get_int("nodes", 0), 4);
+  EXPECT_EQ(opt.get_string("mesh", ""), "8M");
+  EXPECT_TRUE(opt.get_bool("flag", false));
+  EXPECT_DOUBLE_EQ(opt.get_double("ratio", 0.0), 0.5);
+  ASSERT_EQ(opt.positional().size(), 1u);
+  EXPECT_EQ(opt.positional()[0], "positional");
+}
+
+TEST(Options, UnknownOptionRaises) {
+  const char* argv[] = {"prog", "--typo=1"};
+  EXPECT_THROW(Options(2, argv, {"nodes"}), Error);
+}
+
+TEST(Options, BadIntRaises) {
+  const char* argv[] = {"prog", "--nodes=abc"};
+  Options opt(2, argv, {"nodes"});
+  EXPECT_THROW(opt.get_int("nodes", 0), Error);
+}
+
+TEST(VirtualClock, AdvanceSemantics) {
+  VirtualClock c;
+  c.advance(1.5);
+  c.advance_to(1.0);  // earlier: no-op
+  EXPECT_DOUBLE_EQ(c.now(), 1.5);
+  c.advance_to(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(Error, MessageCarriesLocation) {
+  try {
+    OP2CA_REQUIRE(false, "boom");
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_util.cpp"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace op2ca
