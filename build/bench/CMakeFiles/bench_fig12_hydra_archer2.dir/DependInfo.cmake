@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12_hydra_archer2.cpp" "bench/CMakeFiles/bench_fig12_hydra_archer2.dir/bench_fig12_hydra_archer2.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12_hydra_archer2.dir/bench_fig12_hydra_archer2.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_hydra_cirrus.dir/bench_fig13_hydra_cirrus.cpp.o"
+  "CMakeFiles/bench_fig13_hydra_cirrus.dir/bench_fig13_hydra_cirrus.cpp.o.d"
+  "bench_fig13_hydra_cirrus"
+  "bench_fig13_hydra_cirrus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_hydra_cirrus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

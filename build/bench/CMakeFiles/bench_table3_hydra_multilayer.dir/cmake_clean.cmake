@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_hydra_multilayer.dir/bench_table3_hydra_multilayer.cpp.o"
+  "CMakeFiles/bench_table3_hydra_multilayer.dir/bench_table3_hydra_multilayer.cpp.o.d"
+  "bench_table3_hydra_multilayer"
+  "bench_table3_hydra_multilayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_hydra_multilayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_hydra_singlelayer.dir/bench_table4_hydra_singlelayer.cpp.o"
+  "CMakeFiles/bench_table4_hydra_singlelayer.dir/bench_table4_hydra_singlelayer.cpp.o.d"
+  "bench_table4_hydra_singlelayer"
+  "bench_table4_hydra_singlelayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_hydra_singlelayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_airfoil.dir/airfoil.cpp.o"
+  "CMakeFiles/example_airfoil.dir/airfoil.cpp.o.d"
+  "airfoil"
+  "airfoil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hydra_chains.dir/hydra_chains.cpp.o"
+  "CMakeFiles/example_hydra_chains.dir/hydra_chains.cpp.o.d"
+  "hydra_chains"
+  "hydra_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hydra_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lazy.dir/lazy.cpp.o"
+  "CMakeFiles/example_lazy.dir/lazy.cpp.o.d"
+  "lazy"
+  "lazy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mgcfd_mini.dir/mgcfd_mini.cpp.o"
+  "CMakeFiles/example_mgcfd_mini.dir/mgcfd_mini.cpp.o.d"
+  "mgcfd_mini"
+  "mgcfd_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mgcfd_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

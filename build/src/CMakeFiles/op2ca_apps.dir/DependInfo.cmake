@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/apps/hydra/hydra_app.cpp" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_app.cpp.o" "gcc" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_app.cpp.o.d"
+  "/root/repo/src/op2ca/apps/hydra/hydra_chains.cpp" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_chains.cpp.o" "gcc" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_chains.cpp.o.d"
+  "/root/repo/src/op2ca/apps/hydra/hydra_mesh.cpp" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_mesh.cpp.o" "gcc" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_mesh.cpp.o.d"
+  "/root/repo/src/op2ca/apps/mgcfd/mgcfd_app.cpp" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_app.cpp.o" "gcc" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_app.cpp.o.d"
+  "/root/repo/src/op2ca/apps/mgcfd/mgcfd_mesh.cpp" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_mesh.cpp.o" "gcc" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_mesh.cpp.o.d"
+  "/root/repo/src/op2ca/apps/mgcfd/synthetic_chain.cpp" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/synthetic_chain.cpp.o" "gcc" "src/CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/synthetic_chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_app.cpp.o"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_app.cpp.o.d"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_chains.cpp.o"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_chains.cpp.o.d"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_mesh.cpp.o"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/hydra/hydra_mesh.cpp.o.d"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_app.cpp.o"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_app.cpp.o.d"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_mesh.cpp.o"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/mgcfd_mesh.cpp.o.d"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/synthetic_chain.cpp.o"
+  "CMakeFiles/op2ca_apps.dir/op2ca/apps/mgcfd/synthetic_chain.cpp.o.d"
+  "libop2ca_apps.a"
+  "libop2ca_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/comm/collectives.cpp" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/collectives.cpp.o" "gcc" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/collectives.cpp.o.d"
+  "/root/repo/src/op2ca/comm/comm.cpp" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/comm.cpp.o" "gcc" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/comm.cpp.o.d"
+  "/root/repo/src/op2ca/comm/cost_model.cpp" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/cost_model.cpp.o" "gcc" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/cost_model.cpp.o.d"
+  "/root/repo/src/op2ca/comm/transport.cpp" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/transport.cpp.o" "gcc" "src/CMakeFiles/op2ca_comm.dir/op2ca/comm/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

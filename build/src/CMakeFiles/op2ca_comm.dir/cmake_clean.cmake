@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/collectives.cpp.o"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/collectives.cpp.o.d"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/comm.cpp.o"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/comm.cpp.o.d"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/cost_model.cpp.o"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/cost_model.cpp.o.d"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/transport.cpp.o"
+  "CMakeFiles/op2ca_comm.dir/op2ca/comm/transport.cpp.o.d"
+  "libop2ca_comm.a"
+  "libop2ca_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

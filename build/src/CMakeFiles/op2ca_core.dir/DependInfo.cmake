@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/core/chain.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/chain.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/chain.cpp.o.d"
+  "/root/repo/src/op2ca/core/chain_config.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/chain_config.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/chain_config.cpp.o.d"
+  "/root/repo/src/op2ca/core/dat.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/dat.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/dat.cpp.o.d"
+  "/root/repo/src/op2ca/core/executor_ca.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/executor_ca.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/executor_ca.cpp.o.d"
+  "/root/repo/src/op2ca/core/executor_op2.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/executor_op2.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/executor_op2.cpp.o.d"
+  "/root/repo/src/op2ca/core/inspector.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/inspector.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/inspector.cpp.o.d"
+  "/root/repo/src/op2ca/core/par_loop.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/par_loop.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/par_loop.cpp.o.d"
+  "/root/repo/src/op2ca/core/runtime.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/runtime.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/runtime.cpp.o.d"
+  "/root/repo/src/op2ca/core/slice.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/slice.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/slice.cpp.o.d"
+  "/root/repo/src/op2ca/core/world.cpp" "src/CMakeFiles/op2ca_core.dir/op2ca/core/world.cpp.o" "gcc" "src/CMakeFiles/op2ca_core.dir/op2ca/core/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_halo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

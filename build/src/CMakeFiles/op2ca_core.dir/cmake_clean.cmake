@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_core.dir/op2ca/core/chain.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/chain.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/chain_config.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/chain_config.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/dat.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/dat.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/executor_ca.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/executor_ca.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/executor_op2.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/executor_op2.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/inspector.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/inspector.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/par_loop.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/par_loop.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/runtime.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/runtime.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/slice.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/slice.cpp.o.d"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/world.cpp.o"
+  "CMakeFiles/op2ca_core.dir/op2ca/core/world.cpp.o.d"
+  "libop2ca_core.a"
+  "libop2ca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_gpu.dir/op2ca/gpu/device.cpp.o"
+  "CMakeFiles/op2ca_gpu.dir/op2ca/gpu/device.cpp.o.d"
+  "CMakeFiles/op2ca_gpu.dir/op2ca/gpu/pipeline.cpp.o"
+  "CMakeFiles/op2ca_gpu.dir/op2ca/gpu/pipeline.cpp.o.d"
+  "libop2ca_gpu.a"
+  "libop2ca_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/halo/builder.cpp" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/builder.cpp.o" "gcc" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/builder.cpp.o.d"
+  "/root/repo/src/op2ca/halo/grouped.cpp" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/grouped.cpp.o" "gcc" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/grouped.cpp.o.d"
+  "/root/repo/src/op2ca/halo/halo_plan.cpp" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/halo_plan.cpp.o" "gcc" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/halo_plan.cpp.o.d"
+  "/root/repo/src/op2ca/halo/renumber.cpp" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/renumber.cpp.o" "gcc" "src/CMakeFiles/op2ca_halo.dir/op2ca/halo/renumber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/builder.cpp.o"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/builder.cpp.o.d"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/grouped.cpp.o"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/grouped.cpp.o.d"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/halo_plan.cpp.o"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/halo_plan.cpp.o.d"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/renumber.cpp.o"
+  "CMakeFiles/op2ca_halo.dir/op2ca/halo/renumber.cpp.o.d"
+  "libop2ca_halo.a"
+  "libop2ca_halo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_halo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/mesh/adjacency.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/adjacency.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/adjacency.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/annulus.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/annulus.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/annulus.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/hex3d.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/hex3d.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/hex3d.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/mesh_def.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_def.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_def.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/mesh_io.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_io.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_io.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/multigrid.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/multigrid.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/multigrid.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/quad2d.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/quad2d.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/quad2d.cpp.o.d"
+  "/root/repo/src/op2ca/mesh/vtk.cpp" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/vtk.cpp.o" "gcc" "src/CMakeFiles/op2ca_mesh.dir/op2ca/mesh/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

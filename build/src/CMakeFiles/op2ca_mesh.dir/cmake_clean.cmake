@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/adjacency.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/adjacency.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/annulus.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/annulus.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/hex3d.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/hex3d.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_def.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_def.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_io.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/mesh_io.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/multigrid.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/multigrid.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/quad2d.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/quad2d.cpp.o.d"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/vtk.cpp.o"
+  "CMakeFiles/op2ca_mesh.dir/op2ca/mesh/vtk.cpp.o.d"
+  "libop2ca_mesh.a"
+  "libop2ca_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_model.dir/op2ca/model/calibrate.cpp.o"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/calibrate.cpp.o.d"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/components.cpp.o"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/components.cpp.o.d"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/machine.cpp.o"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/machine.cpp.o.d"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/perf_model.cpp.o"
+  "CMakeFiles/op2ca_model.dir/op2ca/model/perf_model.cpp.o.d"
+  "libop2ca_model.a"
+  "libop2ca_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/partition/block.cpp" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/block.cpp.o" "gcc" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/block.cpp.o.d"
+  "/root/repo/src/op2ca/partition/kway.cpp" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/kway.cpp.o" "gcc" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/kway.cpp.o.d"
+  "/root/repo/src/op2ca/partition/partition.cpp" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/partition.cpp.o" "gcc" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/partition.cpp.o.d"
+  "/root/repo/src/op2ca/partition/quality.cpp" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/quality.cpp.o" "gcc" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/quality.cpp.o.d"
+  "/root/repo/src/op2ca/partition/rib.cpp" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/rib.cpp.o" "gcc" "src/CMakeFiles/op2ca_partition.dir/op2ca/partition/rib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/op2ca_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/op2ca_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/block.cpp.o"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/block.cpp.o.d"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/kway.cpp.o"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/kway.cpp.o.d"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/partition.cpp.o"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/partition.cpp.o.d"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/quality.cpp.o"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/quality.cpp.o.d"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/rib.cpp.o"
+  "CMakeFiles/op2ca_partition.dir/op2ca/partition/rib.cpp.o.d"
+  "libop2ca_partition.a"
+  "libop2ca_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2ca/util/log.cpp" "src/CMakeFiles/op2ca_util.dir/op2ca/util/log.cpp.o" "gcc" "src/CMakeFiles/op2ca_util.dir/op2ca/util/log.cpp.o.d"
+  "/root/repo/src/op2ca/util/options.cpp" "src/CMakeFiles/op2ca_util.dir/op2ca/util/options.cpp.o" "gcc" "src/CMakeFiles/op2ca_util.dir/op2ca/util/options.cpp.o.d"
+  "/root/repo/src/op2ca/util/rng.cpp" "src/CMakeFiles/op2ca_util.dir/op2ca/util/rng.cpp.o" "gcc" "src/CMakeFiles/op2ca_util.dir/op2ca/util/rng.cpp.o.d"
+  "/root/repo/src/op2ca/util/stats.cpp" "src/CMakeFiles/op2ca_util.dir/op2ca/util/stats.cpp.o" "gcc" "src/CMakeFiles/op2ca_util.dir/op2ca/util/stats.cpp.o.d"
+  "/root/repo/src/op2ca/util/table.cpp" "src/CMakeFiles/op2ca_util.dir/op2ca/util/table.cpp.o" "gcc" "src/CMakeFiles/op2ca_util.dir/op2ca/util/table.cpp.o.d"
+  "/root/repo/src/op2ca/util/timer.cpp" "src/CMakeFiles/op2ca_util.dir/op2ca/util/timer.cpp.o" "gcc" "src/CMakeFiles/op2ca_util.dir/op2ca/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/op2ca_util.dir/op2ca/util/log.cpp.o"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/log.cpp.o.d"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/options.cpp.o"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/options.cpp.o.d"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/rng.cpp.o"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/rng.cpp.o.d"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/stats.cpp.o"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/stats.cpp.o.d"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/table.cpp.o"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/table.cpp.o.d"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/timer.cpp.o"
+  "CMakeFiles/op2ca_util.dir/op2ca/util/timer.cpp.o.d"
+  "libop2ca_util.a"
+  "libop2ca_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/op2ca_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

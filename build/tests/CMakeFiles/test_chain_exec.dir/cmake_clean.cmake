@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chain_exec.dir/test_chain_exec.cpp.o"
+  "CMakeFiles/test_chain_exec.dir/test_chain_exec.cpp.o.d"
+  "test_chain_exec"
+  "test_chain_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chain_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

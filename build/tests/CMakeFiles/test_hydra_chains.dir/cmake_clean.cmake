@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hydra_chains.dir/test_hydra_chains.cpp.o"
+  "CMakeFiles/test_hydra_chains.dir/test_hydra_chains.cpp.o.d"
+  "test_hydra_chains"
+  "test_hydra_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hydra_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
