@@ -9,6 +9,8 @@ namespace op2ca::sim {
 void CommStats::reset_epoch() {
   epoch_msgs_sent = 0;
   epoch_bytes_sent = 0;
+  epoch_msgs_received = 0;
+  epoch_bytes_received = 0;
   epoch_max_msg_bytes = 0;
   epoch_neighbors.clear();
 }
@@ -21,12 +23,24 @@ Comm::Comm(Transport& transport, rank_t rank, const CostModel* cost)
 
 Request Comm::isend(rank_t dst, tag_t tag,
                     std::span<const std::byte> payload) {
-  OP2CA_REQUIRE(dst != rank_, "isend to self is not supported");
   Message msg;
+  msg.payload.assign(payload.begin(), payload.end());
+  stats_.sends_copied += 1;
+  return post_send(dst, tag, std::move(msg));
+}
+
+Request Comm::isend(rank_t dst, tag_t tag, std::vector<std::byte> payload) {
+  Message msg;
+  msg.payload = std::move(payload);
+  stats_.sends_moved += 1;
+  return post_send(dst, tag, std::move(msg));
+}
+
+Request Comm::post_send(rank_t dst, tag_t tag, Message msg) {
+  OP2CA_REQUIRE(dst != rank_, "isend to self is not supported");
   msg.src = rank_;
   msg.dst = dst;
   msg.tag = tag;
-  msg.payload.assign(payload.begin(), payload.end());
   const std::size_t n = msg.payload.size();
   transport_->post(std::move(msg));
 
@@ -65,6 +79,9 @@ void Comm::wait(Request& req) {
     *req.recv_buffer = std::move(msg.payload);
     stats_.msgs_received += 1;
     stats_.bytes_received +=
+        static_cast<std::int64_t>(req.recv_buffer->size());
+    stats_.epoch_msgs_received += 1;
+    stats_.epoch_bytes_received +=
         static_cast<std::int64_t>(req.recv_buffer->size());
     stats_.recv_neighbors.insert(req.peer);
     if (cost_ != nullptr) {

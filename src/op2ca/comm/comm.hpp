@@ -24,11 +24,17 @@ struct CommStats {
   std::int64_t bytes_sent = 0;
   std::int64_t msgs_received = 0;
   std::int64_t bytes_received = 0;
+  /// Sends whose payload was moved into the mailbox (zero-copy path) vs
+  /// copied from a caller-owned span.
+  std::int64_t sends_moved = 0;
+  std::int64_t sends_copied = 0;
   std::set<rank_t> send_neighbors;
   std::set<rank_t> recv_neighbors;
 
   std::int64_t epoch_msgs_sent = 0;
   std::int64_t epoch_bytes_sent = 0;
+  std::int64_t epoch_msgs_received = 0;
+  std::int64_t epoch_bytes_received = 0;
   std::int64_t epoch_max_msg_bytes = 0;
   std::set<rank_t> epoch_neighbors;
 
@@ -63,7 +69,13 @@ public:
   int size() const { return transport_->size(); }
 
   /// Begins a non-blocking send; the payload is copied before returning.
+  /// Prefer the by-value overload on hot paths.
   Request isend(rank_t dst, tag_t tag, std::span<const std::byte> payload);
+  /// Zero-copy send: takes ownership of the buffer and moves it into the
+  /// destination mailbox — no payload copy. The caller's vector is left
+  /// empty; staging buffers come back through a BufferPool on the
+  /// receiving side (see util/buffer_pool.hpp).
+  Request isend(rank_t dst, tag_t tag, std::vector<std::byte> payload);
   /// Begins a non-blocking receive into `*out` (resized on completion).
   Request irecv(rank_t src, tag_t tag, std::vector<std::byte>* out);
 
@@ -90,6 +102,8 @@ public:
 
 private:
   friend class Collectives;
+  Request post_send(rank_t dst, tag_t tag, Message msg);
+
   Transport* transport_;
   rank_t rank_;
   const CostModel* cost_;

@@ -5,10 +5,12 @@
 // OP2 runtime needs: point-to-point tagged messages with non-overtaking
 // order per (src, dst, tag), non-blocking send/recv with wait, and a
 // barrier. Each rank runs on its own thread; mailboxes are mutex+condvar
-// protected queues. Payloads are copied on send, so a sender may reuse or
-// mutate its buffer immediately after isend returns — the OP2 runtime
-// nevertheless packs into staging buffers first, exactly as the real
-// back-end does.
+// protected queues. Payloads are moved into the destination mailbox on
+// post: the zero-copy isend overload transfers ownership of the sender's
+// staging buffer (the span overload still copies for small collectives).
+// Ownership handover happens under the mailbox mutex, so the receiver may
+// recycle the buffer freely after wait() — see util/buffer_pool.hpp for
+// the staging-buffer lifecycle.
 #pragma once
 
 #include <atomic>
@@ -28,7 +30,7 @@ namespace op2ca::sim {
 /// internal collectives.
 using tag_t = std::int32_t;
 
-/// A delivered message (payload already copied out of the sender).
+/// A delivered message (payload ownership transferred from the sender).
 struct Message {
   rank_t src = -1;
   rank_t dst = -1;

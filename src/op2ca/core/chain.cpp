@@ -1,7 +1,8 @@
 // Chain bracketing: capture between chain_begin / chain_end, then either
 // CA execution (enabled chains) or plain sequential OP2 execution.
+#include <algorithm>
 #include <cstdio>
-#include <functional>
+#include <iterator>
 
 #include "op2ca/core/runtime_detail.hpp"
 #include "op2ca/util/error.hpp"
@@ -45,6 +46,14 @@ void Runtime::chain_end() {
       chain_total.max_neighbors =
           std::max(chain_total.max_neighbors, m.max_neighbors);
       chain_total.wall_seconds += m.wall_seconds;
+      chain_total.pack_seconds += m.pack_seconds;
+      chain_total.core_seconds += m.core_seconds;
+      chain_total.wait_seconds += m.wait_seconds;
+      chain_total.unpack_seconds += m.unpack_seconds;
+      chain_total.halo_seconds += m.halo_seconds;
+      chain_total.dispatch_regions += m.dispatch_regions;
+      chain_total.plan_builds += m.plan_builds;
+      chain_total.staging_allocs += m.staging_allocs;
     }
     LoopMetrics& agg = state_->chain_metrics[name];
     const std::int64_t prev_calls = agg.calls;
@@ -66,58 +75,73 @@ void Runtime::flush() { detail::flush_lazy(*state_); }
 
 namespace detail {
 
+std::uint64_t chain_structural_hash(const LoopRecord* loops, std::size_t n) {
+  // FNV-1a over every structural feature of the window: loop names, sets,
+  // and each access descriptor. Kernel bodies are deliberately excluded —
+  // the analysis only depends on the access pattern.
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (b * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (std::size_t l = 0; l < n; ++l) {
+    const LoopRecord& rec = loops[l];
+    for (char c : rec.name) mix(static_cast<unsigned char>(c));
+    mix(0x7f01);
+    mix(static_cast<std::uint64_t>(rec.set));
+    for (const ArgSpec& a : rec.spec.args) {
+      mix(static_cast<std::uint64_t>(a.dat));
+      mix(static_cast<std::uint64_t>(a.mode));
+      mix(a.indirect ? 1 : 0);
+      mix(static_cast<std::uint64_t>(a.map));
+      mix(static_cast<std::uint64_t>(a.map_idx));
+    }
+    mix(0x7f02);
+  }
+  return h;
+}
+
 namespace {
 
 /// Structural signature of a queued program fragment, so repeated phases
 /// of a lazy application hit the analysis cache.
-std::string lazy_signature(const std::vector<LoopRecord>& loops) {
-  std::string text;
-  for (const LoopRecord& rec : loops) {
-    text += rec.name;
-    text += '/';
-    text += std::to_string(rec.set);
-    for (const ArgSpec& a : rec.spec.args) {
-      text += ':';
-      text += std::to_string(a.dat);
-      text += access_name(a.mode);
-      if (a.indirect) {
-        text += 'm';
-        text += std::to_string(a.map);
-        text += '.';
-        text += std::to_string(a.map_idx);
-      }
-    }
-    text += ';';
-  }
+std::string lazy_signature(const LoopRecord* loops, std::size_t n) {
   char buf[24];
-  std::snprintf(buf, sizeof buf, "%016zx", std::hash<std::string>{}(text));
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(
+                    chain_structural_hash(loops, n)));
   return std::string("lazy:") + buf;
 }
 
-}  // namespace
-
-namespace {
-
 /// Feasibility of a window of queued loops as one CA chain: accepted by
-/// the inspector AND within the halo plan's depth. Caches the analysis
-/// under the window's signature so the executor reuses it.
-bool window_feasible(RankState& st, const std::vector<LoopRecord>& loops,
-                     std::size_t begin, std::size_t end,
+/// the inspector AND within the halo plan's depth. Caches the analysis in
+/// st.chain_plans under the window's signature, so a feasible window's
+/// later execution (and every repeat of the same program phase) skips the
+/// inspector entirely.
+bool window_feasible(RankState& st, const LoopRecord* loops, std::size_t n,
                      std::string* name_out) {
-  std::vector<LoopRecord> window(loops.begin() + static_cast<long>(begin),
-                                 loops.begin() + static_cast<long>(end));
-  const std::string name = lazy_signature(window);
+  const std::uint64_t sig = chain_structural_hash(loops, n);
+  const std::string name = lazy_signature(loops, n);
   *name_out = name;
-  const auto it = st.chain_cache.find(name);
-  if (it != st.chain_cache.end())
-    return it->second.required_depth <= st.world->plan().depth;
+  const auto it = st.chain_plans.find(name);
+  if (it != st.chain_plans.end() && it->second.structure == sig &&
+      it->second.analysis.he.size() == n)
+    return it->second.analysis.required_depth <= st.world->plan().depth;
   ChainSpec spec;
   spec.name = name;
-  for (const auto& rec : window) spec.loops.push_back(rec.spec);
+  spec.loops.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) spec.loops.push_back(loops[l].spec);
   try {
     ChainAnalysis an = inspect_chain(st.world->mesh(), spec);
     const bool ok = an.required_depth <= st.world->plan().depth;
-    st.chain_cache.emplace(name, std::move(an));
+    ChainPlan& cp = st.chain_plans[name];
+    cp.structure = sig;
+    cp.analysis = std::move(an);
+    cp.exec_lists_built = false;
+    cp.exec_lists.clear();
+    cp.exchanges.clear();
     return ok;
   } catch (const Error&) {
     return false;  // inspector rejected (e.g. unregenerable direct write)
@@ -137,16 +161,20 @@ void flush_lazy(RankState& st) {
   std::size_t i = 0;
   while (i < loops.size()) {
     std::size_t j = i + 1;
-    std::string name = lazy_signature({loops[i]});
+    std::string name = lazy_signature(loops.data() + i, 1);
     while (j < loops.size()) {
       std::string candidate;
-      if (!window_feasible(st, loops, i, j + 1, &candidate)) break;
-      name = candidate;
+      if (!window_feasible(st, loops.data() + i, j + 1 - i, &candidate))
+        break;
+      name = std::move(candidate);
       ++j;
     }
     if (j - i >= 2) {
-      std::vector<LoopRecord> window(loops.begin() + static_cast<long>(i),
-                                     loops.begin() + static_cast<long>(j));
+      // Each record executes exactly once, so the window can steal the
+      // queue's records instead of copying their type-erased bodies.
+      std::vector<LoopRecord> window(
+          std::make_move_iterator(loops.begin() + static_cast<long>(i)),
+          std::make_move_iterator(loops.begin() + static_cast<long>(j)));
       execute_chain_ca(st, name, window);
     } else {
       execute_loop_op2(st, loops[i]);

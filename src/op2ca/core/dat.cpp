@@ -9,7 +9,9 @@ namespace op2ca::core::detail {
 RankState::RankState(World* w, sim::Transport& transport, rank_t r)
     : world(w), rank(r), comm(transport, r, &w->config().cost) {
   const mesh::MeshDef& mesh = world->mesh();
+  serial_dispatch = w->config().serial_dispatch;
   dats.resize(static_cast<std::size_t>(mesh.num_dats()));
+  loop_exchanges.resize(static_cast<std::size_t>(mesh.num_dats()));
   for (mesh::dat_id d = 0; d < mesh.num_dats(); ++d) {
     const mesh::DatDef& dd = mesh.dat(d);
     RankDat& rd = dats[static_cast<std::size_t>(d)];

@@ -1,22 +1,26 @@
 // Communication-avoiding chain executor — Alg 2 of the paper.
 //
-// 1. Inspect the chain (cached by name): Alg-3 halo extensions HE_l,
-//    per-loop core shrinks, dats needing a pre-chain sync and their
-//    depths.
+// 1. Inspect the chain (cached by name + structural hash): Alg-3 halo
+//    extensions HE_l, per-loop core shrinks, dats needing a pre-chain
+//    sync and their depths, the sparse-tiling exec lists, and — per set
+//    of stale dats — a persistent ChainExchange holding the flattened
+//    GroupedPlan. Everything is built once; steady-state epochs skip
+//    straight to execution.
 // 2. Build and post ONE grouped message per neighbour containing every
-//    stale dat's exec+nonexec halo layers up to its sync depth (Fig 8).
-// 3. While in flight: run every loop's (shrunken) core in chain order.
-// 4. Wait, unpack.
+//    stale dat's exec+nonexec halo layers up to its sync depth (Fig 8),
+//    packed through the plan into pooled staging buffers and moved into
+//    the mailbox (zero-copy).
+// 3. While in flight: run every loop's (shrunken) core in chain order,
+//    one region-body call per loop.
+// 4. Wait, unpack through the plan's scatter lists, recycle the buffers.
 // 5. Run every loop's halo region in chain order: the deferred owned
 //    boundary (inward distance <= shrink_l) followed by the import-exec
 //    layers 1..HE_l — the redundant computation that replaces the
 //    per-loop halo exchanges.
 #include <algorithm>
-#include <deque>
 
-#include "op2ca/core/runtime_detail.hpp"
 #include "op2ca/core/slice.hpp"
-#include "op2ca/halo/grouped.hpp"
+#include "op2ca/core/runtime_detail.hpp"
 #include "op2ca/util/error.hpp"
 #include "op2ca/util/timer.hpp"
 
@@ -32,34 +36,73 @@ ChainSpec spec_from(const std::string& name,
   return spec;
 }
 
+/// Returns the chain's cached plan, (re)building analysis + exec lists on
+/// first sight of this (name, structure). The structural hash guards
+/// against a chain name reused with different loops.
+ChainPlan& chain_plan(RankState& st, const std::string& name,
+                      const std::vector<LoopRecord>& loops,
+                      std::int64_t* plan_builds) {
+  const std::uint64_t sig = chain_structural_hash(loops.data(), loops.size());
+  ChainPlan& cp = st.chain_plans[name];
+  if (cp.structure != sig || cp.analysis.he.size() != loops.size()) {
+    cp.structure = sig;
+    cp.analysis = inspect_chain(st.world->mesh(), spec_from(name, loops));
+    cp.exec_lists_built = false;
+    cp.exec_lists.clear();
+    cp.exchanges.clear();
+    *plan_builds += 1;
+  }
+  if (!cp.exec_lists_built) {
+    cp.exec_lists = needed_exec_lists(st.world->mesh(), st.rank_plan(),
+                                      st.world->plan().depth,
+                                      spec_from(name, loops), cp.analysis);
+    cp.exec_lists_built = true;
+  }
+  return cp;
+}
+
+/// Returns the persistent grouped exchange for the current stale-dat set
+/// (bit i of `mask` = an.syncs[i] participates), building it on miss.
+ChainExchange& chain_exchange(RankState& st, ChainPlan& cp,
+                              std::uint64_t mask,
+                              std::int64_t* plan_builds) {
+  auto it = cp.exchanges.find(mask);
+  if (it != cp.exchanges.end()) return it->second;
+
+  ChainExchange ex;
+  const mesh::MeshDef& mesh = st.world->mesh();
+  for (std::size_t i = 0; i < cp.analysis.syncs.size(); ++i) {
+    if ((mask & (std::uint64_t{1} << i)) == 0) continue;
+    const DatSync& s = cp.analysis.syncs[i];
+    RankDat& rd = st.rank_dat(s.dat);
+    halo::DatSyncSpec spec;
+    spec.set = mesh.dat(s.dat).set;
+    spec.dim = rd.dim;
+    spec.depth = s.depth;
+    spec.data = rd.data.data();
+    ex.specs.push_back(spec);
+    ex.dats.push_back(s.dat);
+  }
+  ex.plan = halo::build_grouped_plan(st.rank_plan(), ex.specs);
+  ex.recv_bufs.resize(ex.plan.sides.size());
+  *plan_builds += 1;
+  return cp.exchanges.emplace(mask, std::move(ex)).first->second;
+}
+
 }  // namespace
 
 void execute_chain_ca(RankState& st, const std::string& name,
                       std::vector<LoopRecord>& loops) {
   if (loops.empty()) return;
   WallTimer timer;
-  const mesh::MeshDef& mesh = st.world->mesh();
-  const halo::RankPlan& rp = st.rank_plan();
   st.comm.stats().reset_epoch();
+  const std::int64_t allocs_before = st.staging.allocations();
+  const std::int64_t regions_before = st.dispatch_regions;
+  std::int64_t plan_builds = 0;
 
   // -- Inspection (cached; the analysis is rank-independent). ----------
-  auto cached = st.chain_cache.find(name);
-  if (cached == st.chain_cache.end() ||
-      cached->second.he.size() != loops.size()) {
-    ChainAnalysis analysis = inspect_chain(mesh, spec_from(name, loops));
-    cached = st.chain_cache.insert_or_assign(name, std::move(analysis)).first;
-  }
-  const ChainAnalysis& an = cached->second;
-
-  auto lists_it = st.chain_exec_lists.find(name);
-  if (lists_it == st.chain_exec_lists.end()) {
-    lists_it = st.chain_exec_lists
-                   .emplace(name, needed_exec_lists(
-                                      mesh, rp, st.world->plan().depth,
-                                      spec_from(name, loops), an))
-                   .first;
-  }
-  const std::vector<LIdxVec>& exec_lists = lists_it->second;
+  ChainPlan& cp = chain_plan(st, name, loops, &plan_builds);
+  const ChainAnalysis& an = cp.analysis;
 
   OP2CA_REQUIRE(
       an.required_depth <= st.world->plan().depth,
@@ -72,53 +115,36 @@ void execute_chain_ca(RankState& st, const std::string& name,
                 "chain '" + name + "' exceeds its configured max depth");
 
   // -- Pre-chain grouped exchange (lines 1-7 of Alg 2). ----------------
-  // Drop dats whose halo is already fresh deep enough (dirty-bit check).
-  std::vector<halo::DatSyncSpec> specs;
-  std::vector<mesh::dat_id> synced;
-  for (const DatSync& s : an.syncs) {
-    RankDat& rd = st.rank_dat(s.dat);
-    if (rd.fresh_depth >= s.depth) continue;
-    halo::DatSyncSpec spec;
-    spec.set = mesh.dat(s.dat).set;
-    spec.dim = rd.dim;
-    spec.depth = s.depth;
-    spec.data = rd.data.data();
-    specs.push_back(spec);
-    synced.push_back(s.dat);
-  }
+  // Stale-dat mask (dirty-bit check): identical on every rank — dirty
+  // bits evolve under the same SPMD loop sequence everywhere — so both
+  // endpoints of every message agree on the grouped layout.
+  OP2CA_REQUIRE(an.syncs.size() <= 64,
+                "chain '" + name + "' syncs more than 64 dats");
+  std::uint64_t mask = 0;
+  for (std::size_t i = 0; i < an.syncs.size(); ++i)
+    if (st.rank_dat(an.syncs[i].dat).fresh_depth < an.syncs[i].depth)
+      mask |= std::uint64_t{1} << i;
 
-  std::vector<sim::Request> requests;
-  std::deque<std::vector<std::byte>> recv_buffers;
-  std::vector<rank_t> recv_from;
-  if (!specs.empty()) {
-    // One grouped message per neighbour (send side).
-    for (rank_t q : rp.neighbors) {
-      std::vector<std::byte> buf = halo::pack_grouped(rp, q, specs);
-      if (!buf.empty())
-        requests.push_back(st.comm.isend(q, kChainTag, buf));
-    }
-    // Matching receives: my import volume from q equals q's export
-    // volume toward me, so posting on non-empty import lists is
-    // symmetric with the sender's non-empty export check.
-    for (rank_t q : rp.neighbors) {
-      bool any = false;
-      for (const auto& spec : specs) {
-        const halo::NeighborLists& nl =
-            rp.lists[static_cast<std::size_t>(spec.set)];
-        for (const auto* tab : {&nl.imp_exec, &nl.imp_nonexec}) {
-          const auto it = tab->find(q);
-          if (it == tab->end()) continue;
-          for (int k = 1; k <= spec.depth; ++k)
-            if (!it->second[static_cast<std::size_t>(k - 1)].empty())
-              any = true;
-        }
+  ChainExchange* ex = nullptr;
+  if (mask != 0) {
+    ex = &chain_exchange(st, cp, mask, &plan_builds);
+    // Rebind data pointers: dat storage can be re-gathered between runs
+    // (World::reset_dat), so the cached specs must not pin stale arrays.
+    for (std::size_t i = 0; i < ex->dats.size(); ++i)
+      ex->specs[i].data = st.rank_dat(ex->dats[i]).data.data();
+
+    ex->requests.clear();
+    for (std::size_t s = 0; s < ex->plan.sides.size(); ++s) {
+      const halo::GroupedPlan::Side& side = ex->plan.sides[s];
+      if (side.send_bytes > 0) {
+        std::vector<std::byte> buf = st.staging.take(side.send_bytes);
+        halo::pack_grouped(side, ex->specs, buf.data());
+        ex->requests.push_back(
+            st.comm.isend(side.q, kChainTag, std::move(buf)));
       }
-      if (any) {
-        recv_buffers.emplace_back();
-        recv_from.push_back(q);
-        requests.push_back(
-            st.comm.irecv(q, kChainTag, &recv_buffers.back()));
-      }
+      if (side.recv_bytes > 0)
+        ex->requests.push_back(
+            st.comm.irecv(side.q, kChainTag, &ex->recv_bufs[s]));
     }
   }
 
@@ -128,32 +154,36 @@ void execute_chain_ca(RankState& st, const std::string& name,
   std::int64_t core_iters = 0;
   for (std::size_t l = 0; l < loops.size(); ++l) {
     const halo::SetLayout& lay = st.layout(loops[l].set);
-    core_iters += run_range(loops[l], 0, lay.core_count(an.shrink[l]));
+    core_iters += run_range(st, loops[l], 0, lay.core_count(an.shrink[l]));
   }
 
   const double t_core = timer.elapsed();
 
   // -- Wait + unpack (line 13). -----------------------------------------
-  st.comm.wait_all(requests);
-  for (std::size_t i = 0; i < recv_buffers.size(); ++i)
-    halo::unpack_grouped(rp, recv_from[i], specs, recv_buffers[i]);
-  for (std::size_t i = 0; i < synced.size(); ++i) {
-    RankDat& rd = st.rank_dat(synced[i]);
-    rd.fresh_depth = std::max(rd.fresh_depth, specs[i].depth);
+  double t_wait = t_core;
+  double t_unpack = t_core;
+  if (ex != nullptr) {
+    st.comm.wait_all(ex->requests);
+    t_wait = timer.elapsed();
+    for (std::size_t s = 0; s < ex->plan.sides.size(); ++s) {
+      if (ex->plan.sides[s].recv_bytes == 0) continue;
+      halo::unpack_grouped(ex->plan.sides[s], ex->specs, ex->recv_bufs[s]);
+      st.staging.release(std::move(ex->recv_bufs[s]));
+    }
+    for (std::size_t i = 0; i < ex->dats.size(); ++i) {
+      RankDat& rd = st.rank_dat(ex->dats[i]);
+      rd.fresh_depth = std::max(rd.fresh_depth, ex->specs[i].depth);
+    }
+    t_unpack = timer.elapsed();
   }
-
-  const double t_wait = timer.elapsed();
 
   // -- Halo phase (lines 14-18): deferred boundary + exec layers. -------
   std::int64_t halo_iters = 0;
   for (std::size_t l = 0; l < loops.size(); ++l) {
     const halo::SetLayout& lay = st.layout(loops[l].set);
     halo_iters +=
-        run_range(loops[l], lay.core_count(an.shrink[l]), lay.num_owned);
-    for (lidx_t e : exec_lists[l]) {
-      loops[l].body(e);
-      ++halo_iters;
-    }
+        run_range(st, loops[l], lay.core_count(an.shrink[l]), lay.num_owned);
+    halo_iters += run_list(st, loops[l], cp.exec_lists[l]);
   }
 
   // -- Dirty bits. -------------------------------------------------------
@@ -175,7 +205,11 @@ void execute_chain_ca(RankState& st, const std::string& name,
   metrics.pack_seconds = t_pack;
   metrics.core_seconds = t_core - t_pack;
   metrics.wait_seconds = t_wait - t_core;
-  metrics.halo_seconds = metrics.wall_seconds - t_wait;
+  metrics.unpack_seconds = t_unpack - t_wait;
+  metrics.halo_seconds = metrics.wall_seconds - t_unpack;
+  metrics.dispatch_regions = st.dispatch_regions - regions_before;
+  metrics.plan_builds = plan_builds;
+  metrics.staging_allocs = st.staging.allocations() - allocs_before;
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;

@@ -6,9 +6,13 @@
 // are in flight; wait; execute the owned boundary and, for loops with
 // indirect writes, the level-1 import-exec halo; reduce globals; mark
 // written dats' halos stale.
+//
+// The per-dat message lists are flattened into a cached LoopExchange on
+// first use, and staging buffers cycle through the rank's BufferPool (the
+// zero-copy isend hands each send buffer to the receiver, which releases
+// it back into its own pool after unpacking) — steady-state loops walk no
+// maps and allocate nothing.
 #include <algorithm>
-#include <deque>
-#include <tuple>
 
 #include "op2ca/core/runtime_detail.hpp"
 #include "op2ca/halo/grouped.hpp"
@@ -33,91 +37,106 @@ std::vector<mesh::dat_id> dats_needing_exchange(RankState& st,
   return out;
 }
 
+/// Flattens dat `d`'s level-1 message lists (built once, cached).
+LoopExchange& loop_exchange(RankState& st, mesh::dat_id d,
+                            std::int64_t* plan_builds) {
+  std::unique_ptr<LoopExchange>& slot =
+      st.loop_exchanges[static_cast<std::size_t>(d)];
+  if (slot != nullptr) return *slot;
+
+  const mesh::DatDef& dd = st.world->mesh().dat(d);
+  const int dim = dd.dim;
+  const halo::NeighborLists& nl =
+      st.rank_plan().lists[static_cast<std::size_t>(dd.set)];
+  const sim::tag_t tag_exec = kLoopTagBase + d * 2;
+  const sim::tag_t tag_nonexec = kLoopTagBase + d * 2 + 1;
+
+  slot = std::make_unique<LoopExchange>();
+  auto add = [dim](std::vector<LoopExchange::Segment>* segs,
+                   const std::map<rank_t, std::vector<LIdxVec>>& tab,
+                   sim::tag_t tag) {
+    for (const auto& [q, layers] : tab) {
+      const LIdxVec& idx = layers[0];  // level 1
+      if (idx.empty()) continue;
+      segs->push_back({q, tag, &idx,
+                       idx.size() * static_cast<std::size_t>(dim) *
+                           sizeof(double)});
+    }
+  };
+  add(&slot->sends, nl.exp_exec, tag_exec);
+  add(&slot->sends, nl.exp_nonexec, tag_nonexec);
+  add(&slot->recvs, nl.imp_exec, tag_exec);
+  add(&slot->recvs, nl.imp_nonexec, tag_nonexec);
+  slot->recv_bufs.resize(slot->recvs.size());
+  *plan_builds += 1;
+  return *slot;
+}
+
 }  // namespace
 
 LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   WallTimer timer;
-  const halo::RankPlan& rp = st.rank_plan();
   const halo::SetLayout& lay = st.layout(rec.set);
   const mesh::MeshDef& mesh = st.world->mesh();
   st.comm.stats().reset_epoch();
+  const std::int64_t allocs_before = st.staging.allocations();
+  const std::int64_t regions_before = st.dispatch_regions;
+  std::int64_t plan_builds = 0;
 
   // Snapshot global-INC buffers before any iteration runs.
   GblIncState snap = snapshot_gbl_incs(rec);
 
   // -- 1. Post halo exchanges (MPI_Isend / MPI_Irecv of Alg 1). --------
   const std::vector<mesh::dat_id> exch = dats_needing_exchange(st, rec);
-  std::vector<sim::Request> requests;
-  // deque: irecv stores a pointer to its buffer, so no reallocation.
-  std::deque<std::vector<std::byte>> recv_buffers;
-  // (dat, neighbour, exec?) per recv buffer, to unpack after the wait.
-  std::vector<std::tuple<mesh::dat_id, rank_t, bool>> recv_info;
+  std::vector<sim::Request>& requests = st.loop_requests;
+  requests.clear();
 
   for (mesh::dat_id d : exch) {
-    const mesh::DatDef& dd = mesh.dat(d);
     RankDat& rd = st.rank_dat(d);
-    const halo::NeighborLists& nl =
-        rp.lists[static_cast<std::size_t>(dd.set)];
-    const sim::tag_t tag_exec = kLoopTagBase + d * 2;
-    const sim::tag_t tag_nonexec = kLoopTagBase + d * 2 + 1;
-
-    auto send_lists = [&](const std::map<rank_t, std::vector<LIdxVec>>& tab,
-                          sim::tag_t tag) {
-      for (const auto& [q, layers] : tab) {
-        const LIdxVec& idx = layers[0];  // level 1
-        if (idx.empty()) continue;
-        std::vector<std::byte> buf;
-        halo::pack_rows(rd.data.data(), rd.dim, idx, &buf);
-        requests.push_back(st.comm.isend(q, tag, buf));
-      }
-    };
-    auto recv_lists = [&](const std::map<rank_t, std::vector<LIdxVec>>& tab,
-                          sim::tag_t tag, bool exec) {
-      for (const auto& [q, layers] : tab) {
-        if (layers[0].empty()) continue;
-        recv_buffers.emplace_back();
-        recv_info.emplace_back(d, q, exec);
-        requests.push_back(st.comm.irecv(q, tag, &recv_buffers.back()));
-      }
-    };
-    send_lists(nl.exp_exec, tag_exec);
-    send_lists(nl.exp_nonexec, tag_nonexec);
-    recv_lists(nl.imp_exec, tag_exec, true);
-    recv_lists(nl.imp_nonexec, tag_nonexec, false);
+    LoopExchange& ex = loop_exchange(st, d, &plan_builds);
+    for (const LoopExchange::Segment& seg : ex.sends) {
+      std::vector<std::byte> buf = st.staging.take(seg.bytes);
+      halo::gather_rows(rd.data.data(), rd.dim, *seg.idx, buf.data());
+      requests.push_back(st.comm.isend(seg.q, seg.tag, std::move(buf)));
+    }
+    for (std::size_t i = 0; i < ex.recvs.size(); ++i)
+      requests.push_back(
+          st.comm.irecv(ex.recvs[i].q, ex.recvs[i].tag, &ex.recv_bufs[i]));
   }
 
   const double t_pack = timer.elapsed();
 
   // -- 2. Core iterations overlap with the exchange. -------------------
   const lidx_t core_end = lay.core_count(1);
-  std::int64_t core_iters = run_range(rec, 0, core_end);
+  std::int64_t core_iters = run_range(st, rec, 0, core_end);
   const double t_core = timer.elapsed();
 
   // -- 3. MPI_Wait + unpack. -------------------------------------------
   st.comm.wait_all(requests);
-  for (std::size_t i = 0; i < recv_buffers.size(); ++i) {
-    const auto [d, q, exec] = recv_info[i];
-    const mesh::DatDef& dd = mesh.dat(d);
-    RankDat& rd = st.rank_dat(d);
-    const halo::NeighborLists& nl =
-        rp.lists[static_cast<std::size_t>(dd.set)];
-    const auto& tab = exec ? nl.imp_exec : nl.imp_nonexec;
-    const LIdxVec& idx = tab.at(q)[0];
-    const std::size_t used =
-        halo::unpack_rows(rd.data.data(), rd.dim, idx, recv_buffers[i], 0);
-    OP2CA_ASSERT(used == recv_buffers[i].size(),
-                 "level-1 halo payload size mismatch");
-  }
-  for (mesh::dat_id d : exch)
-    st.rank_dat(d).fresh_depth = std::max(st.rank_dat(d).fresh_depth, 1);
-
   const double t_wait = timer.elapsed();
 
+  for (mesh::dat_id d : exch) {
+    RankDat& rd = st.rank_dat(d);
+    LoopExchange& ex = *st.loop_exchanges[static_cast<std::size_t>(d)];
+    for (std::size_t i = 0; i < ex.recvs.size(); ++i) {
+      const LoopExchange::Segment& seg = ex.recvs[i];
+      std::vector<std::byte>& buf = ex.recv_bufs[i];
+      OP2CA_ASSERT(buf.size() == seg.bytes,
+                   "level-1 halo payload size mismatch");
+      const std::size_t used =
+          halo::unpack_rows(rd.data.data(), rd.dim, *seg.idx, buf, 0);
+      OP2CA_ASSERT(used == buf.size(), "level-1 halo unpack short");
+      st.staging.release(std::move(buf));
+    }
+    rd.fresh_depth = std::max(rd.fresh_depth, 1);
+  }
+  const double t_unpack = timer.elapsed();
+
   // -- 4. Owned boundary + level-1 import-exec halo. --------------------
-  std::int64_t halo_iters = run_range(rec, core_end, lay.num_owned);
+  std::int64_t halo_iters = run_range(st, rec, core_end, lay.num_owned);
   if (loop_executes_exec_halo(rec)) {
     const auto [b, e] = lay.exec_layer(1);
-    halo_iters += run_range(rec, b, e);
+    halo_iters += run_range(st, rec, b, e);
   }
 
   // -- 5. Global reductions (synchronisation point). --------------------
@@ -145,7 +164,11 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   metrics.pack_seconds = t_pack;
   metrics.core_seconds = t_core - t_pack;
   metrics.wait_seconds = t_wait - t_core;
-  metrics.halo_seconds = metrics.wall_seconds - t_wait;
+  metrics.unpack_seconds = t_unpack - t_wait;
+  metrics.halo_seconds = metrics.wall_seconds - t_unpack;
+  metrics.dispatch_regions = st.dispatch_regions - regions_before;
+  metrics.plan_builds = plan_builds;
+  metrics.staging_allocs = st.staging.allocations() - allocs_before;
 
   LoopMetrics& agg = st.loop_metrics[rec.name];
   const std::int64_t prev_calls = agg.calls;

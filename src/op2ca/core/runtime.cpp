@@ -61,26 +61,19 @@ void LoopMetrics::merge_from(const LoopMetrics& other) {
   pack_seconds += other.pack_seconds;
   core_seconds += other.core_seconds;
   wait_seconds += other.wait_seconds;
+  unpack_seconds += other.unpack_seconds;
   halo_seconds += other.halo_seconds;
+  dispatch_regions += other.dispatch_regions;
+  plan_builds += other.plan_builds;
+  staging_allocs += other.staging_allocs;
 }
 
 namespace detail {
 
-double* resolve_arg(const ResolvedArg& a, lidx_t i, bool validate) {
-  if (a.is_gbl) return a.base;
-  if (a.map_targets == nullptr)
-    return a.base + static_cast<std::size_t>(i) *
-                        static_cast<std::size_t>(a.dim);
-  const lidx_t t =
-      a.map_targets[static_cast<std::size_t>(i) *
-                        static_cast<std::size_t>(a.arity) +
-                    static_cast<std::size_t>(a.idx)];
-  if (validate)
-    OP2CA_REQUIRE(t != kInvalidLocal,
-                  "par_loop touched an element outside the local region "
-                  "(halo depth too small for this access pattern)");
-  return a.base + static_cast<std::size_t>(t) *
-                      static_cast<std::size_t>(a.dim);
+void raise_out_of_region(const char* loop_name) {
+  raise("par_loop '" + std::string(loop_name) +
+        "' touched an element outside the local region (halo depth too "
+        "small for this access pattern)");
 }
 
 bool loop_executes_exec_halo(const LoopRecord& rec) {
@@ -241,9 +234,11 @@ const std::vector<detail::ResolvedArg>& Runtime::record_args(
   return rec.rargs;
 }
 
-void Runtime::set_body(detail::LoopRecord& rec,
-                       std::function<void(lidx_t)> body) {
-  rec.body = std::move(body);
+void Runtime::set_bodies(
+    detail::LoopRecord& rec, std::function<void(lidx_t, lidx_t)> range_body,
+    std::function<void(const lidx_t*, std::size_t)> list_body) {
+  rec.range_body = std::move(range_body);
+  rec.list_body = std::move(list_body);
 }
 
 }  // namespace op2ca::core

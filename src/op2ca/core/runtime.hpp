@@ -75,12 +75,20 @@ struct LoopMetrics {
   int max_neighbors = 0;
   double wall_seconds = 0;           ///< summed across ranks.
   // Phase breakdown (wall, summed across ranks): staging the outgoing
-  // halo data, computing cores while messages fly, waiting + unpacking,
-  // and the post-wait boundary/halo compute.
+  // halo data, computing cores while messages fly, waiting, unpacking
+  // received payloads, and the post-wait boundary/halo compute.
   double pack_seconds = 0;
   double core_seconds = 0;
   double wait_seconds = 0;
+  double unpack_seconds = 0;
   double halo_seconds = 0;
+  // Hot-path observability: region-body invocations (batched dispatch
+  // amortises one type-erased call over many elements), exchange-plan
+  // (re)builds, and staging-buffer allocations. In steady state the last
+  // two stay at zero — asserted by the plan-reuse tests.
+  std::int64_t dispatch_regions = 0;
+  std::int64_t plan_builds = 0;
+  std::int64_t staging_allocs = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -101,21 +109,63 @@ struct ResolvedArg {
 };
 
 /// A fully-resolved loop ready to execute (or be captured by a chain).
+/// The kernel is reachable only through region bodies: one type-erased
+/// call covers a whole index range (contiguous fast path) or a gathered
+/// index list, so per-element dispatch cost is amortised away and arg
+/// resolution is hoisted into the generated batch loop.
 struct LoopRecord {
   std::string name;
   mesh::set_id set = -1;
   LoopSpec spec;                    ///< structural view for inspection.
   std::vector<Arg> args;            ///< original descriptors.
   std::vector<ResolvedArg> rargs;   ///< iteration-time pointers.
-  std::function<void(lidx_t)> body;
+  std::function<void(lidx_t, lidx_t)> range_body;  ///< [begin, end).
+  std::function<void(const lidx_t*, std::size_t)> list_body;
 };
 
-double* resolve_arg(const ResolvedArg& a, lidx_t i, bool validate);
+void raise_out_of_region(const char* loop_name);
 
+/// Resolves one argument at iteration `i`. Inline so the batch loops in
+/// invoke_kernel_range/_list keep it out of the per-element path.
+inline double* resolve_arg(const ResolvedArg& a, lidx_t i, bool validate,
+                           const char* loop_name = "") {
+  if (a.is_gbl) return a.base;
+  if (a.map_targets == nullptr)
+    return a.base + static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(a.dim);
+  const lidx_t t =
+      a.map_targets[static_cast<std::size_t>(i) *
+                        static_cast<std::size_t>(a.arity) +
+                    static_cast<std::size_t>(a.idx)];
+  if (validate && t == kInvalidLocal) raise_out_of_region(loop_name);
+  return a.base + static_cast<std::size_t>(t) *
+                      static_cast<std::size_t>(a.dim);
+}
+
+/// Batched dispatch over a contiguous iteration range: argument state is
+/// copied into locals once per region, then the kernel runs the whole
+/// range inside one type-erased call. Direct args reduce to
+/// base-pointer + stride walks the optimiser can vectorise around;
+/// indirect args resolve their map row inside the batch loop.
 template <typename K, std::size_t... I>
-void invoke_kernel(const K& k, const std::vector<ResolvedArg>& ra, lidx_t i,
-                   bool validate, std::index_sequence<I...>) {
-  k(resolve_arg(ra[I], i, validate)...);
+void invoke_kernel_range(const K& k, const std::vector<ResolvedArg>& rargs,
+                         lidx_t begin, lidx_t end, bool validate,
+                         const char* name, std::index_sequence<I...>) {
+  const ResolvedArg a[sizeof...(I)] = {rargs[I]...};
+  for (lidx_t i = begin; i < end; ++i)
+    k(resolve_arg(a[I], i, validate, name)...);
+}
+
+/// Batched dispatch over a gathered index list (exec-halo iterations).
+template <typename K, std::size_t... I>
+void invoke_kernel_list(const K& k, const std::vector<ResolvedArg>& rargs,
+                        const lidx_t* idx, std::size_t n, bool validate,
+                        const char* name, std::index_sequence<I...>) {
+  const ResolvedArg a[sizeof...(I)] = {rargs[I]...};
+  for (std::size_t j = 0; j < n; ++j) {
+    const lidx_t i = idx[j];
+    k(resolve_arg(a[I], i, validate, name)...);
+  }
 }
 }  // namespace detail
 
@@ -147,10 +197,17 @@ public:
     const std::vector<detail::ResolvedArg>& ra = record_args(rec);
     auto kf = std::forward<Kernel>(kernel);
     const bool validate = validation_enabled();
-    set_body(rec, [kf, ra, validate](lidx_t i) {
-      detail::invoke_kernel(kf, ra, i, validate,
-                            std::index_sequence_for<Args...>{});
-    });
+    set_bodies(
+        rec,
+        [kf, ra, validate, name](lidx_t begin, lidx_t end) {
+          detail::invoke_kernel_range(kf, ra, begin, end, validate,
+                                      name.c_str(),
+                                      std::index_sequence_for<Args...>{});
+        },
+        [kf, ra, validate, name](const lidx_t* idx, std::size_t n) {
+          detail::invoke_kernel_list(kf, ra, idx, n, validate, name.c_str(),
+                                     std::index_sequence_for<Args...>{});
+        });
     submit(std::move(rec));
   }
 
@@ -175,7 +232,9 @@ private:
                                  std::vector<Arg> args);
   const std::vector<detail::ResolvedArg>& record_args(
       const detail::LoopRecord& rec) const;
-  void set_body(detail::LoopRecord& rec, std::function<void(lidx_t)> body);
+  void set_bodies(detail::LoopRecord& rec,
+                  std::function<void(lidx_t, lidx_t)> range_body,
+                  std::function<void(const lidx_t*, std::size_t)> list_body);
   void submit(detail::LoopRecord rec);
   bool validation_enabled() const;
 
@@ -192,6 +251,12 @@ struct WorldConfig {
   sim::CostModel cost{};
   /// Per-iteration checks that every touched element is locally present.
   bool validate = false;
+  /// Debug/equivalence knob: invoke the region bodies one element at a
+  /// time, reproducing the per-element dispatch order of the classic
+  /// executor exactly. Iteration order is identical either way (regions
+  /// run their elements in sequence), so results must match bitwise —
+  /// asserted by the executor-equivalence tests.
+  bool serial_dispatch = false;
   ChainConfig chains{};
   /// Lazy evaluation (the paper's future-work automation): par_loops are
   /// queued instead of executed, and flushed as an automatically-formed

@@ -2,11 +2,15 @@
 // public API.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "op2ca/core/runtime.hpp"
+#include "op2ca/halo/grouped.hpp"
+#include "op2ca/util/buffer_pool.hpp"
 
 namespace op2ca::core::detail {
 
@@ -24,11 +28,52 @@ struct RankDat {
   int fresh_depth = 0;
 };
 
+/// Cached level-1 exchange of one dat for the classic per-loop executor:
+/// the (neighbour, class) walk over the export/import list maps flattened
+/// into plain segment arrays, so steady-state loops post their messages
+/// with no map lookups. Index lists point into the rank's HaloPlan
+/// (stable for the World's lifetime).
+struct LoopExchange {
+  struct Segment {
+    rank_t q = -1;
+    sim::tag_t tag = 0;
+    const LIdxVec* idx = nullptr;  ///< level-1 rows (exec or nonexec).
+    std::size_t bytes = 0;
+  };
+  std::vector<Segment> sends;
+  std::vector<Segment> recvs;
+  std::vector<std::vector<std::byte>> recv_bufs;  ///< slots, recvs-parallel.
+};
+
+/// One persistent grouped exchange of a chain for a fixed set of stale
+/// dats: sync specs (data pointers rebound each epoch), the flattened
+/// GroupedPlan, and reusable receive slots. Built once per (chain,
+/// stale-mask); steady-state epochs touch no maps and allocate nothing.
+struct ChainExchange {
+  std::vector<mesh::dat_id> dats;          ///< specs-parallel.
+  std::vector<halo::DatSyncSpec> specs;
+  halo::GroupedPlan plan;
+  std::vector<std::vector<std::byte>> recv_bufs;  ///< sides-parallel.
+  std::vector<sim::Request> requests;             ///< reused capacity.
+};
+
+/// Everything the CA executor caches per chain name. `structure` is a
+/// hash of the loops' (set, args) shape: a name reused with different
+/// loops rebuilds the plan instead of executing a stale analysis.
+struct ChainPlan {
+  std::uint64_t structure = 0;
+  ChainAnalysis analysis;
+  bool exec_lists_built = false;
+  std::vector<LIdxVec> exec_lists;  ///< per-loop sparse-tiling slice.
+  std::map<std::uint64_t, ChainExchange> exchanges;  ///< by stale mask.
+};
+
 struct RankState {
   World* world = nullptr;
   rank_t rank = -1;
   sim::Comm comm;
   std::vector<RankDat> dats;
+  bool serial_dispatch = false;  ///< copy of WorldConfig::serial_dispatch.
 
   // Chain capture.
   bool capturing = false;
@@ -40,11 +85,13 @@ struct RankState {
   std::vector<LoopRecord> lazy_queue;
   int lazy_flushes = 0;
 
-  // Inspection cache, keyed by chain name.
-  std::map<std::string, ChainAnalysis> chain_cache;
-  // Per-chain needed import-exec iteration lists (sparse-tiling slice),
-  // keyed by chain name.
-  std::map<std::string, std::vector<LIdxVec>> chain_exec_lists;
+  // Inspector-built plans, cached by chain name (CA executor) and by dat
+  // (per-loop executor), plus the staging-buffer pool shared by both.
+  std::map<std::string, ChainPlan> chain_plans;
+  std::vector<std::unique_ptr<LoopExchange>> loop_exchanges;  ///< per dat.
+  BufferPool staging;
+  std::vector<sim::Request> loop_requests;  ///< per-loop scratch, reused.
+  std::int64_t dispatch_regions = 0;  ///< running region-body call count.
 
   // Per-rank metrics, merged by the World after each run.
   std::map<std::string, LoopMetrics> loop_metrics;
@@ -77,11 +124,40 @@ void execute_chain_ca(RankState& st, const std::string& name,
 /// repeated program phases reuse cached analyses.
 void flush_lazy(RankState& st);
 
-/// Shared: runs `body` over the local index range [begin, end).
-inline std::int64_t run_range(const LoopRecord& rec, lidx_t begin,
-                              lidx_t end) {
-  for (lidx_t i = begin; i < end; ++i) rec.body(i);
-  return end > begin ? end - begin : 0;
+/// Order-insensitive-to-nothing structural hash of a window of loops:
+/// covers names, sets and every access descriptor. Keys the analysis
+/// caches and the lazy-chain signatures.
+std::uint64_t chain_structural_hash(const LoopRecord* loops, std::size_t n);
+
+/// Shared: runs the loop body over the local index range [begin, end)
+/// through the region fast path (or element-at-a-time when the World was
+/// configured with serial_dispatch). Counts region-body invocations in
+/// st.dispatch_regions.
+inline std::int64_t run_range(RankState& st, const LoopRecord& rec,
+                              lidx_t begin, lidx_t end) {
+  if (end <= begin) return 0;
+  if (st.serial_dispatch) {
+    for (lidx_t i = begin; i < end; ++i) rec.range_body(i, i + 1);
+    st.dispatch_regions += end - begin;
+  } else {
+    rec.range_body(begin, end);
+    st.dispatch_regions += 1;
+  }
+  return end - begin;
+}
+
+/// Shared: runs the loop body over a gathered index list.
+inline std::int64_t run_list(RankState& st, const LoopRecord& rec,
+                             const LIdxVec& idx) {
+  if (idx.empty()) return 0;
+  if (st.serial_dispatch) {
+    for (lidx_t i : idx) rec.list_body(&i, 1);
+    st.dispatch_regions += static_cast<std::int64_t>(idx.size());
+  } else {
+    rec.list_body(idx.data(), idx.size());
+    st.dispatch_regions += 1;
+  }
+  return static_cast<std::int64_t>(idx.size());
 }
 
 /// True when the loop must redundantly execute import-exec halo layers

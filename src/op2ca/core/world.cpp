@@ -119,7 +119,8 @@ void World::write_metrics_csv(std::ostream& os) const {
   Table t;
   t.set_header({"kind", "name", "calls", "core_iters", "halo_iters",
                 "msgs", "bytes", "max_msg_bytes", "max_neighbors",
-                "wall_s", "pack_s", "core_s", "wait_s", "halo_s"});
+                "wall_s", "pack_s", "core_s", "wait_s", "unpack_s",
+                "halo_s", "regions", "plan_builds", "staging_allocs"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -127,7 +128,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                m.bytes, m.max_msg_bytes,
                static_cast<std::int64_t>(m.max_neighbors), m.wall_seconds,
                m.pack_seconds, m.core_seconds, m.wait_seconds,
-               m.halo_seconds});
+               m.unpack_seconds, m.halo_seconds, m.dispatch_regions,
+               m.plan_builds, m.staging_allocs});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

@@ -41,18 +41,23 @@ void for_each_segment(const RankPlan& rp, rank_t q,
 
 }  // namespace
 
+void gather_rows(const double* data, int dim, const LIdxVec& idx,
+                 std::byte* out) {
+  const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
+  for (lidx_t i : idx) {
+    std::memcpy(out, data + static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(dim),
+                row_bytes);
+    out += row_bytes;
+  }
+}
+
 void pack_rows(const double* data, int dim, const LIdxVec& idx,
                std::vector<std::byte>* out) {
   const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
   const std::size_t base = out->size();
   out->resize(base + idx.size() * row_bytes);
-  std::byte* dst = out->data() + base;
-  for (lidx_t i : idx) {
-    std::memcpy(dst, data + static_cast<std::size_t>(i) *
-                                static_cast<std::size_t>(dim),
-                row_bytes);
-    dst += row_bytes;
-  }
+  gather_rows(data, dim, idx, out->data() + base);
 }
 
 std::size_t unpack_rows(double* data, int dim, const LIdxVec& idx,
@@ -107,6 +112,64 @@ void unpack_grouped(const RankPlan& rp, rank_t q,
                    });
   OP2CA_REQUIRE(offset == payload.size(),
                 "unpack_grouped: payload size mismatch");
+}
+
+GroupedPlan build_grouped_plan(const RankPlan& rp,
+                               std::span<const DatSyncSpec> specs) {
+  GroupedPlan plan;
+  for (rank_t q : rp.neighbors) {
+    GroupedPlan::Side side;
+    side.q = q;
+    side.gather.resize(specs.size());
+    side.scatter.resize(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const std::size_t row =
+          static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+      for_each_segment(rp, q, specs.subspan(s, 1), /*exports=*/true,
+                       [&](const DatSyncSpec&, const LIdxVec& idx) {
+                         side.gather[s].insert(side.gather[s].end(),
+                                               idx.begin(), idx.end());
+                       });
+      for_each_segment(rp, q, specs.subspan(s, 1), /*exports=*/false,
+                       [&](const DatSyncSpec&, const LIdxVec& idx) {
+                         side.scatter[s].insert(side.scatter[s].end(),
+                                                idx.begin(), idx.end());
+                       });
+      side.send_bytes += side.gather[s].size() * row;
+      side.recv_bytes += side.scatter[s].size() * row;
+    }
+    if (side.send_bytes > 0 || side.recv_bytes > 0)
+      plan.sides.push_back(std::move(side));
+  }
+  return plan;
+}
+
+void pack_grouped(const GroupedPlan::Side& side,
+                  std::span<const DatSyncSpec> specs, std::byte* out) {
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    gather_rows(specs[s].data, specs[s].dim, side.gather[s], out);
+    out += side.gather[s].size() *
+           static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+  }
+}
+
+void unpack_grouped(const GroupedPlan::Side& side,
+                    std::span<const DatSyncSpec> specs,
+                    std::span<const std::byte> payload) {
+  OP2CA_REQUIRE(payload.size() == side.recv_bytes,
+                "unpack_grouped: payload does not match the plan");
+  const std::byte* src = payload.data();
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    double* data = specs[s].data;
+    const std::size_t row =
+        static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+    for (lidx_t i : side.scatter[s]) {
+      std::memcpy(data + static_cast<std::size_t>(i) *
+                             static_cast<std::size_t>(specs[s].dim),
+                  src, row);
+      src += row;
+    }
+  }
 }
 
 }  // namespace op2ca::halo

@@ -31,6 +31,11 @@ struct DatSyncSpec {
 void pack_rows(const double* data, int dim, const LIdxVec& idx,
                std::vector<std::byte>* out);
 
+/// Copies data[idx] rows into `out` (idx.size() * dim doubles). The raw,
+/// allocation-free primitive under pack_rows and the GroupedPlan pack.
+void gather_rows(const double* data, int dim, const LIdxVec& idx,
+                 std::byte* out);
+
 /// Copies rows from `in` at `offset` into data[idx]; returns new offset.
 std::size_t unpack_rows(double* data, int dim, const LIdxVec& idx,
                         std::span<const std::byte> in, std::size_t offset);
@@ -39,12 +44,55 @@ std::size_t unpack_rows(double* data, int dim, const LIdxVec& idx,
 std::map<rank_t, std::int64_t> grouped_message_bytes(
     const RankPlan& rp, std::span<const DatSyncSpec> specs);
 
-/// Builds the grouped export buffer toward neighbour `q`.
+/// Builds the grouped export buffer toward neighbour `q`. Reference
+/// implementation: walks the (dat, class, layer) segment sequence through
+/// the per-neighbour list maps and allocates a fresh buffer. The
+/// executors use a GroupedPlan instead; this stays as the ground truth
+/// the plan is tested against and as the one-shot API for benches.
 std::vector<std::byte> pack_grouped(const RankPlan& rp, rank_t q,
                                     std::span<const DatSyncSpec> specs);
 
 /// Unpacks a received grouped buffer from neighbour `q` into the dats.
 void unpack_grouped(const RankPlan& rp, rank_t q,
+                    std::span<const DatSyncSpec> specs,
+                    std::span<const std::byte> payload);
+
+/// Persistent grouped-exchange plan: the (dat, class, layer) segment walk
+/// of a grouped message flattened, per neighbour, into one concatenated
+/// gather (export) and scatter (import) row-index list per dat, plus the
+/// total byte counts. Built once at inspection time; steady-state epochs
+/// then pack/unpack with zero map lookups and zero allocations.
+///
+/// The plan pins the (specs, neighbour lists) geometry it was built from:
+/// rebuild whenever the participating dat set, sync depths or dims
+/// change. DatSyncSpec::data pointers are NOT pinned — pack/unpack take
+/// the current specs so callers can rebind data arrays cheaply per epoch.
+struct GroupedPlan {
+  struct Side {
+    rank_t q = -1;
+    /// gather[s] / scatter[s]: specs[s]'s export / import rows toward /
+    /// from q — exec layers 1..depth then nonexec layers 1..depth,
+    /// concatenated in canonical message order.
+    std::vector<LIdxVec> gather;
+    std::vector<LIdxVec> scatter;
+    std::size_t send_bytes = 0;
+    std::size_t recv_bytes = 0;
+  };
+  /// One side per neighbour with traffic in either direction.
+  std::vector<Side> sides;
+};
+
+/// Flattens the segment walk for every neighbour of `rp`.
+GroupedPlan build_grouped_plan(const RankPlan& rp,
+                               std::span<const DatSyncSpec> specs);
+
+/// Packs the grouped message toward side.q into `out`, which must hold
+/// side.send_bytes. Allocation-free by construction.
+void pack_grouped(const GroupedPlan::Side& side,
+                  std::span<const DatSyncSpec> specs, std::byte* out);
+
+/// Unpacks a received grouped payload (side.recv_bytes long) from side.q.
+void unpack_grouped(const GroupedPlan::Side& side,
                     std::span<const DatSyncSpec> specs,
                     std::span<const std::byte> payload);
 

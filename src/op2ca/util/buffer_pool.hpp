@@ -1,0 +1,75 @@
+// Recycling pool of byte buffers for message staging.
+//
+// The zero-copy transport moves send payloads into the destination
+// mailbox, so a sender cannot keep reusing one staging buffer: every
+// isend gives its storage away. The pool closes the loop instead: after a
+// rank unpacks a received message it releases the (moved-in) payload
+// here, and the next pack acquires it. In a symmetric exchange every rank
+// receives as many buffers per epoch as it sends, so after a warm-up
+// epoch or two (while capacities converge to the largest message) the
+// steady state performs zero heap allocations.
+//
+// Not thread-safe: one pool belongs to one rank thread. Buffers crossing
+// ranks are handed over through the transport's mutex-protected mailbox.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace op2ca {
+
+class BufferPool {
+public:
+  /// Returns a buffer resized to `bytes`. Best fit: the smallest pooled
+  /// buffer that already holds `bytes` (keeping larger ones for larger
+  /// requests — mixed message sizes would otherwise re-grow a small
+  /// buffer every epoch); with no fit, the largest one grows. Counts an
+  /// allocation when storage is created or grown.
+  std::vector<std::byte> take(std::size_t bytes) {
+    high_water_ = std::max(high_water_, bytes);
+    if (free_.empty()) {
+      ++allocations_;
+      std::vector<std::byte> buf;
+      buf.reserve(high_water_);  // one growth covers all future requests
+      buf.resize(bytes);
+      return buf;
+    }
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < free_.size(); ++i) {
+      const std::size_t c = free_[i].capacity();
+      const std::size_t b = free_[best].capacity();
+      const bool better = b < bytes ? c > b : (c >= bytes && c < b);
+      if (better) best = i;
+    }
+    std::vector<std::byte> buf = std::move(free_[best]);
+    free_[best] = std::move(free_.back());
+    free_.pop_back();
+    if (buf.capacity() < bytes) {
+      ++allocations_;
+      buf.reserve(high_water_);
+    }
+    buf.resize(bytes);
+    return buf;
+  }
+
+  /// Returns a buffer to the pool. Empty buffers are dropped.
+  void release(std::vector<std::byte> buf) {
+    if (buf.capacity() == 0) return;
+    if (free_.size() >= kMaxPooled) return;  // let it free
+    free_.push_back(std::move(buf));
+  }
+
+  /// Times take() had to allocate or grow storage (steady state: flat).
+  std::int64_t allocations() const { return allocations_; }
+  std::size_t pooled() const { return free_.size(); }
+
+private:
+  static constexpr std::size_t kMaxPooled = 64;
+  std::vector<std::vector<std::byte>> free_;
+  std::int64_t allocations_ = 0;
+  std::size_t high_water_ = 0;  ///< largest request seen.
+};
+
+}  // namespace op2ca

@@ -207,7 +207,7 @@ TEST(Transport, PoisonUnblocksWaiters) {
 TEST(Transport, SelfSendRejected) {
   Transport t(2);
   Comm c(t, 0);
-  EXPECT_THROW(c.isend(0, 0, {}), Error);
+  EXPECT_THROW(c.isend(0, 0, std::span<const std::byte>{}), Error);
   std::vector<std::byte> buf;
   EXPECT_THROW(c.irecv(0, 0, &buf), Error);
 }

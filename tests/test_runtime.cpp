@@ -373,12 +373,13 @@ TEST(RuntimeOp2, PhaseTimingsSumToWall) {
   World w(std::move(p.q.mesh), config_for(4, partition::Kind::KWay));
   w.run([](Runtime& rt) { run_fig3_loops(rt, 2); });
   for (const auto& [name, m] : w.loop_metrics()) {
-    const double parts =
-        m.pack_seconds + m.core_seconds + m.wait_seconds + m.halo_seconds;
+    const double parts = m.pack_seconds + m.core_seconds + m.wait_seconds +
+                         m.unpack_seconds + m.halo_seconds;
     EXPECT_NEAR(parts, m.wall_seconds, 1e-3) << name;
     EXPECT_GE(m.pack_seconds, 0.0);
     EXPECT_GE(m.core_seconds, 0.0);
     EXPECT_GE(m.wait_seconds, 0.0);
+    EXPECT_GE(m.unpack_seconds, 0.0);
     EXPECT_GE(m.halo_seconds, 0.0);
   }
 }
