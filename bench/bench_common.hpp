@@ -11,6 +11,7 @@
 //   --scale=N      divide mesh nodes and rank counts by N (default 16; use 64 for a quick pass)
 //   --csv          emit CSV instead of aligned text
 //   --calibrate=0  skip kernel calibration (use default costs)
+//   --threads=N    model N shared-memory workers per rank (Machine::threads_per_rank)
 #pragma once
 
 #include <iostream>
@@ -36,19 +37,29 @@ struct BenchConfig {
   std::int64_t scale = 16;
   bool csv = false;
   bool calibrate = true;
+  int threads = 1;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
     cfg.scale = opt.get_int("scale", 16);
     cfg.csv = opt.get_bool("csv", false);
     cfg.calibrate = opt.get_bool("calibrate", true);
+    cfg.threads = static_cast<int>(opt.get_int("threads", 1));
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
+    OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
     return cfg;
+  }
+
+  /// Applies the intra-rank threading knob to a machine preset so the
+  /// model's compute terms scale by Machine::compute_speedup().
+  model::Machine apply_threads(model::Machine mach) const {
+    mach.threads_per_rank = threads;
+    return mach;
   }
 };
 
 inline std::set<std::string> standard_option_names() {
-  return {"scale", "csv", "calibrate"};
+  return {"scale", "csv", "calibrate", "threads"};
 }
 
 /// Paper mesh sizes by label.

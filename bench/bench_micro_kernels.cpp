@@ -19,10 +19,12 @@
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/halo/grouped.hpp"
 #include "op2ca/halo/halo_plan.hpp"
+#include "op2ca/mesh/colouring.hpp"
 #include "op2ca/mesh/quad2d.hpp"
 #include "op2ca/partition/partition.hpp"
 #include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/rng.hpp"
+#include "op2ca/util/thread_pool.hpp"
 #include "op2ca/util/timer.hpp"
 
 namespace {
@@ -338,10 +340,88 @@ GroupedResult bench_grouped_pack() {
   return r;
 }
 
+struct ThreadedSweepResult {
+  int colours = 0;
+  double serial_region_ns = 0;  ///< one region body over the whole range.
+  struct Width {
+    int threads = 1;
+    double sweep_ns = 0;  ///< colour-ordered sweep at this pool width.
+    double speedup = 0;   ///< serial_region_ns / sweep_ns.
+  };
+  std::vector<Width> widths;
+};
+
+/// Colour-ordered threaded sweep of the indirect-INC update loop vs the
+/// single serial region it replaces: the executors' threads_per_rank>1
+/// path, reproduced standalone over the same synthetic edge->node data
+/// as bench_indirect_dispatch. On a single-core host widths > 1 mostly
+/// measure colour-barrier overhead; the JSON records whatever this host
+/// delivers.
+ThreadedSweepResult bench_threaded_sweep() {
+  namespace cd = core::detail;
+  constexpr lidx_t kEdges = 1 << 17;
+  constexpr lidx_t kNodes = 1 << 16;
+  Rng rng(4);
+  std::vector<double> res(static_cast<std::size_t>(kNodes) * 2, 0.0);
+  std::vector<double> pres(static_cast<std::size_t>(kNodes) * 2, 1.0);
+  std::vector<lidx_t> map(static_cast<std::size_t>(kEdges) * 2);
+  for (auto& t : map)
+    t = static_cast<lidx_t>(rng.next_int(0, kNodes - 1));
+
+  const auto kernel = apps::mgcfd::kernels::synth_update;
+  std::vector<cd::ResolvedArg> rargs(4);
+  for (int j = 0; j < 4; ++j) {
+    rargs[static_cast<std::size_t>(j)].base =
+        j < 2 ? res.data() : pres.data();
+    rargs[static_cast<std::size_t>(j)].map_targets = map.data();
+    rargs[static_cast<std::size_t>(j)].arity = 2;
+    rargs[static_cast<std::size_t>(j)].idx = j % 2;
+    rargs[static_cast<std::size_t>(j)].dim = 2;
+  }
+  const auto region = [kernel, &rargs](lidx_t begin, lidx_t end) {
+    cd::invoke_kernel_range(kernel, rargs, begin, end, false, "bench",
+                            std::make_index_sequence<4>{});
+  };
+  const auto list = [kernel, &rargs](const lidx_t* idx, std::size_t n) {
+    cd::invoke_kernel_list(kernel, rargs, idx, n, false, "bench",
+                           std::make_index_sequence<4>{});
+  };
+
+  const mesh::ColourMapView view{map.data(), 2, kEdges, kNodes};
+  const mesh::Colouring col = mesh::greedy_colouring(kEdges, {&view, 1});
+
+  ThreadedSweepResult r;
+  r.colours = col.num_colours;
+  r.serial_region_ns =
+      1e9 / kEdges * time_per_call([&] { region(0, kEdges); });
+
+  for (int threads : {1, 2, 4}) {
+    util::ThreadPool pool(threads);
+    const auto nt = static_cast<std::size_t>(pool.threads());
+    const double sweep_s = time_per_call([&] {
+      for (const LIdxVec& cls : col.classes) {
+        pool.run([&](int t) {
+          const std::size_t n = cls.size();
+          const std::size_t b = n * static_cast<std::size_t>(t) / nt;
+          const std::size_t e = n * (static_cast<std::size_t>(t) + 1) / nt;
+          if (b < e) list(cls.data() + b, e - b);
+        });
+      }
+    });
+    ThreadedSweepResult::Width w;
+    w.threads = threads;
+    w.sweep_ns = 1e9 / kEdges * sweep_s;
+    w.speedup = r.serial_region_ns / w.sweep_ns;
+    r.widths.push_back(w);
+  }
+  return r;
+}
+
 void write_hotpath_json(const char* path) {
   const DispatchResult direct = bench_direct_dispatch();
   const DispatchResult indirect = bench_indirect_dispatch();
   const GroupedResult grouped = bench_grouped_pack();
+  const ThreadedSweepResult sweep = bench_threaded_sweep();
 
   std::ofstream os(path);
   os.precision(5);
@@ -363,13 +443,30 @@ void write_hotpath_json(const char* path) {
      << ", \"plan_gbps\": " << grouped.plan_unpack_gbps
      << ", \"speedup\": "
      << grouped.plan_unpack_gbps / grouped.ref_unpack_gbps << "}\n"
+     << "  },\n"
+     << "  \"threaded_sweep\": {\n"
+     << "    \"colours\": " << sweep.colours
+     << ", \"serial_region_ns\": " << sweep.serial_region_ns
+     << ",\n    \"widths\": [";
+  for (std::size_t i = 0; i < sweep.widths.size(); ++i) {
+    const auto& w = sweep.widths[i];
+    os << (i == 0 ? "" : ", ") << "{\"threads\": " << w.threads
+       << ", \"sweep_ns\": " << w.sweep_ns
+       << ", \"speedup\": " << w.speedup << "}";
+  }
+  os << "]\n"
      << "  }\n"
      << "}\n";
+  const double best_sweep =
+      sweep.widths.empty() ? 0.0 : sweep.widths.back().speedup;
   std::printf(
       "hotpath: direct dispatch %.2fx, indirect dispatch %.2fx, "
-      "pack+send %.2fx, unpack %.2fx -> %s\n",
+      "pack+send %.2fx, unpack %.2fx, colour sweep @%d threads %.2fx "
+      "(%d colours) -> %s\n",
       direct.speedup(), indirect.speedup(), grouped.pack_send_speedup(),
-      grouped.plan_unpack_gbps / grouped.ref_unpack_gbps, path);
+      grouped.plan_unpack_gbps / grouped.ref_unpack_gbps,
+      sweep.widths.empty() ? 0 : sweep.widths.back().threads, best_sweep,
+      sweep.colours, path);
 }
 
 }  // namespace

@@ -10,6 +10,10 @@ RankState::RankState(World* w, sim::Transport& transport, rank_t r)
     : world(w), rank(r), comm(transport, r, &w->config().cost) {
   const mesh::MeshDef& mesh = world->mesh();
   serial_dispatch = w->config().serial_dispatch;
+  // serial_dispatch wins over threading: the per-element equivalence knob
+  // must reproduce the classic order exactly.
+  if (w->config().threads_per_rank > 1 && !serial_dispatch)
+    pool = std::make_unique<util::ThreadPool>(w->config().threads_per_rank);
   dats.resize(static_cast<std::size_t>(mesh.num_dats()));
   loop_exchanges.resize(static_cast<std::size_t>(mesh.num_dats()));
   for (mesh::dat_id d = 0; d < mesh.num_dats(); ++d) {

@@ -98,6 +98,9 @@ void execute_chain_ca(RankState& st, const std::string& name,
   st.comm.stats().reset_epoch();
   const std::int64_t allocs_before = st.staging.allocations();
   const std::int64_t regions_before = st.dispatch_regions;
+  const std::int64_t chunks_before = st.dispatch_chunks;
+  const double busy_before = st.pool ? st.pool->busy_seconds() : 0.0;
+  st.dispatch_max_colours = 0;
   std::int64_t plan_builds = 0;
 
   // -- Inspection (cached; the analysis is rank-independent). ----------
@@ -138,7 +141,7 @@ void execute_chain_ca(RankState& st, const std::string& name,
       const halo::GroupedPlan::Side& side = ex->plan.sides[s];
       if (side.send_bytes > 0) {
         std::vector<std::byte> buf = st.staging.take(side.send_bytes);
-        halo::pack_grouped(side, ex->specs, buf.data());
+        halo::pack_grouped(side, ex->specs, buf.data(), st.pool.get());
         ex->requests.push_back(
             st.comm.isend(side.q, kChainTag, std::move(buf)));
       }
@@ -167,7 +170,8 @@ void execute_chain_ca(RankState& st, const std::string& name,
     t_wait = timer.elapsed();
     for (std::size_t s = 0; s < ex->plan.sides.size(); ++s) {
       if (ex->plan.sides[s].recv_bytes == 0) continue;
-      halo::unpack_grouped(ex->plan.sides[s], ex->specs, ex->recv_bufs[s]);
+      halo::unpack_grouped(ex->plan.sides[s], ex->specs, ex->recv_bufs[s],
+                           st.pool.get());
       st.staging.release(std::move(ex->recv_bufs[s]));
     }
     for (std::size_t i = 0; i < ex->dats.size(); ++i) {
@@ -210,6 +214,10 @@ void execute_chain_ca(RankState& st, const std::string& name,
   metrics.dispatch_regions = st.dispatch_regions - regions_before;
   metrics.plan_builds = plan_builds;
   metrics.staging_allocs = st.staging.allocations() - allocs_before;
+  metrics.chunks = st.dispatch_chunks - chunks_before;
+  metrics.max_colours = st.dispatch_max_colours;
+  metrics.busy_seconds =
+      st.pool ? st.pool->busy_seconds() - busy_before : 0.0;
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;

@@ -81,6 +81,9 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   st.comm.stats().reset_epoch();
   const std::int64_t allocs_before = st.staging.allocations();
   const std::int64_t regions_before = st.dispatch_regions;
+  const std::int64_t chunks_before = st.dispatch_chunks;
+  const double busy_before = st.pool ? st.pool->busy_seconds() : 0.0;
+  st.dispatch_max_colours = 0;
   std::int64_t plan_builds = 0;
 
   // Snapshot global-INC buffers before any iteration runs.
@@ -169,6 +172,10 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   metrics.dispatch_regions = st.dispatch_regions - regions_before;
   metrics.plan_builds = plan_builds;
   metrics.staging_allocs = st.staging.allocations() - allocs_before;
+  metrics.chunks = st.dispatch_chunks - chunks_before;
+  metrics.max_colours = st.dispatch_max_colours;
+  metrics.busy_seconds =
+      st.pool ? st.pool->busy_seconds() - busy_before : 0.0;
 
   LoopMetrics& agg = st.loop_metrics[rec.name];
   const std::int64_t prev_calls = agg.calls;

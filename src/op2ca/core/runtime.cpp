@@ -66,6 +66,9 @@ void LoopMetrics::merge_from(const LoopMetrics& other) {
   dispatch_regions += other.dispatch_regions;
   plan_builds += other.plan_builds;
   staging_allocs += other.staging_allocs;
+  chunks += other.chunks;
+  max_colours = std::max(max_colours, other.max_colours);
+  busy_seconds += other.busy_seconds;
 }
 
 namespace detail {

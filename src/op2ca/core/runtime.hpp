@@ -89,6 +89,13 @@ struct LoopMetrics {
   std::int64_t dispatch_regions = 0;
   std::int64_t plan_builds = 0;
   std::int64_t staging_allocs = 0;
+  // Intra-rank threading (threads_per_rank > 1): chunks submitted to the
+  // worker pool, the colour count of the widest colour-ordered sweep
+  // (max over ranks/calls; 0 = no sweep needed), and the summed
+  // per-thread busy time inside pool regions.
+  std::int64_t chunks = 0;
+  int max_colours = 0;
+  double busy_seconds = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -257,6 +264,16 @@ struct WorldConfig {
   /// run their elements in sequence), so results must match bitwise —
   /// asserted by the executor-equivalence tests.
   bool serial_dispatch = false;
+  /// Intra-rank shared-memory parallelism: each rank runs its regions on
+  /// a worker pool of this width. 1 (default) keeps the single-threaded
+  /// dispatch, bitwise-identical to previous behaviour. With > 1, direct
+  /// regions split into contiguous chunks and indirect-write loops run
+  /// as colour-ordered sweeps (mesh/colouring); results are deterministic
+  /// for any width > 1 (colour classes are conflict-free, so intra-class
+  /// order cannot affect any memory cell) but reassociate increment sums
+  /// relative to width 1. Ignored when serial_dispatch is set. Loops
+  /// reducing into globals execute serially regardless.
+  int threads_per_rank = 1;
   ChainConfig chains{};
   /// Lazy evaluation (the paper's future-work automation): par_loops are
   /// queued instead of executed, and flushed as an automatically-formed

@@ -10,7 +10,9 @@
 
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/halo/grouped.hpp"
+#include "op2ca/mesh/colouring.hpp"
 #include "op2ca/util/buffer_pool.hpp"
+#include "op2ca/util/thread_pool.hpp"
 
 namespace op2ca::core::detail {
 
@@ -93,6 +95,18 @@ struct RankState {
   std::vector<sim::Request> loop_requests;  ///< per-loop scratch, reused.
   std::int64_t dispatch_regions = 0;  ///< running region-body call count.
 
+  // Intra-rank threading (WorldConfig::threads_per_rank > 1): the worker
+  // pool, the colouring cache — one greedy colouring per (set, conflict
+  // maps) combination, living next to the exchange plans — and the
+  // per-colour gather scratch reused by threaded run_list calls.
+  std::unique_ptr<util::ThreadPool> pool;
+  std::map<std::pair<mesh::set_id, std::vector<mesh::map_id>>,
+           mesh::Colouring>
+      colourings;
+  std::vector<LIdxVec> colour_scratch;
+  std::int64_t dispatch_chunks = 0;   ///< running pool-chunk count.
+  int dispatch_max_colours = 0;       ///< reset per loop by the executors.
+
   // Per-rank metrics, merged by the World after each run.
   std::map<std::string, LoopMetrics> loop_metrics;
   std::map<std::string, LoopMetrics> chain_metrics;
@@ -129,36 +143,25 @@ void flush_lazy(RankState& st);
 /// caches and the lazy-chain signatures.
 std::uint64_t chain_structural_hash(const LoopRecord* loops, std::size_t n);
 
-/// Shared: runs the loop body over the local index range [begin, end)
-/// through the region fast path (or element-at-a-time when the World was
-/// configured with serial_dispatch). Counts region-body invocations in
-/// st.dispatch_regions.
-inline std::int64_t run_range(RankState& st, const LoopRecord& rec,
-                              lidx_t begin, lidx_t end) {
-  if (end <= begin) return 0;
-  if (st.serial_dispatch) {
-    for (lidx_t i = begin; i < end; ++i) rec.range_body(i, i + 1);
-    st.dispatch_regions += end - begin;
-  } else {
-    rec.range_body(begin, end);
-    st.dispatch_regions += 1;
-  }
-  return end - begin;
-}
+/// Shared: runs the loop body over the local index range [begin, end).
+/// Paths, in precedence order: element-at-a-time (serial_dispatch), the
+/// single-region fast path (no pool — bitwise-identical to previous
+/// behaviour), contiguous chunks over the pool (no indirect writes), or
+/// a colour-ordered parallel sweep (indirect writes; see core/dispatch).
+/// Counts region-body invocations in st.dispatch_regions and pool chunks
+/// in st.dispatch_chunks.
+std::int64_t run_range(RankState& st, const LoopRecord& rec, lidx_t begin,
+                       lidx_t end);
 
-/// Shared: runs the loop body over a gathered index list.
-inline std::int64_t run_list(RankState& st, const LoopRecord& rec,
-                             const LIdxVec& idx) {
-  if (idx.empty()) return 0;
-  if (st.serial_dispatch) {
-    for (lidx_t i : idx) rec.list_body(&i, 1);
-    st.dispatch_regions += static_cast<std::int64_t>(idx.size());
-  } else {
-    rec.list_body(idx.data(), idx.size());
-    st.dispatch_regions += 1;
-  }
-  return static_cast<std::int64_t>(idx.size());
-}
+/// Shared: runs the loop body over a gathered index list (same paths).
+std::int64_t run_list(RankState& st, const LoopRecord& rec,
+                      const LIdxVec& idx);
+
+/// The rank's cached colouring for `rec`'s conflict structure (the maps
+/// through which the loop writes indirectly, plus an identity view when
+/// a written dat is also accessed directly). Built on first use, cached
+/// in RankState::colourings. Exposed for the threaded-executor tests.
+const mesh::Colouring& loop_colouring(RankState& st, const LoopRecord& rec);
 
 /// True when the loop must redundantly execute import-exec halo layers
 /// under owner-compute (it writes through a map).

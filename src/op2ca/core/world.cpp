@@ -14,6 +14,8 @@ namespace op2ca::core {
 World::World(mesh::MeshDef mesh, WorldConfig cfg)
     : mesh_(std::move(mesh)), cfg_(std::move(cfg)) {
   OP2CA_REQUIRE(cfg_.nranks >= 1, "World needs nranks >= 1");
+  OP2CA_REQUIRE(cfg_.threads_per_rank >= 1,
+                "World needs threads_per_rank >= 1");
   OP2CA_REQUIRE(mesh_.num_sets() > 0, "World needs a non-empty mesh");
 
   mesh::set_id seed = 0;
@@ -120,7 +122,8 @@ void World::write_metrics_csv(std::ostream& os) const {
   t.set_header({"kind", "name", "calls", "core_iters", "halo_iters",
                 "msgs", "bytes", "max_msg_bytes", "max_neighbors",
                 "wall_s", "pack_s", "core_s", "wait_s", "unpack_s",
-                "halo_s", "regions", "plan_builds", "staging_allocs"});
+                "halo_s", "regions", "plan_builds", "staging_allocs",
+                "chunks", "colours", "busy_s"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -129,7 +132,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                static_cast<std::int64_t>(m.max_neighbors), m.wall_seconds,
                m.pack_seconds, m.core_seconds, m.wait_seconds,
                m.unpack_seconds, m.halo_seconds, m.dispatch_regions,
-               m.plan_builds, m.staging_allocs});
+               m.plan_builds, m.staging_allocs, m.chunks,
+               static_cast<std::int64_t>(m.max_colours), m.busy_seconds});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

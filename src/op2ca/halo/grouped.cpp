@@ -39,6 +39,30 @@ void for_each_segment(const RankPlan& rp, rank_t q,
   }
 }
 
+/// gather_rows over a raw [idx, idx + n) subrange.
+void gather_range(const double* data, int dim, const lidx_t* idx,
+                  std::size_t n, std::byte* out) {
+  const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(out, data + static_cast<std::size_t>(idx[i]) *
+                                static_cast<std::size_t>(dim),
+                row_bytes);
+    out += row_bytes;
+  }
+}
+
+/// Scatter counterpart of gather_range.
+void scatter_range(double* data, int dim, const lidx_t* idx, std::size_t n,
+                   const std::byte* src) {
+  const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::memcpy(data + static_cast<std::size_t>(idx[i]) *
+                           static_cast<std::size_t>(dim),
+                src, row_bytes);
+    src += row_bytes;
+  }
+}
+
 }  // namespace
 
 void gather_rows(const double* data, int dim, const LIdxVec& idx,
@@ -145,31 +169,80 @@ GroupedPlan build_grouped_plan(const RankPlan& rp,
 }
 
 void pack_grouped(const GroupedPlan::Side& side,
-                  std::span<const DatSyncSpec> specs, std::byte* out) {
+                  std::span<const DatSyncSpec> specs, std::byte* out,
+                  util::ThreadPool* pool) {
+  if (pool == nullptr || pool->threads() <= 1) {
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      gather_rows(specs[s].data, specs[s].dim, side.gather[s], out);
+      out += side.gather[s].size() *
+             static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+    }
+    return;
+  }
+  // Thread t gathers chunk t of every spec's list into its byte range:
+  // chunks tile the output exactly, so the buffer matches the serial
+  // pack byte-for-byte.
+  std::vector<std::size_t> base(specs.size());
+  std::size_t off = 0;
   for (std::size_t s = 0; s < specs.size(); ++s) {
-    gather_rows(specs[s].data, specs[s].dim, side.gather[s], out);
-    out += side.gather[s].size() *
+    base[s] = off;
+    off += side.gather[s].size() *
            static_cast<std::size_t>(specs[s].dim) * sizeof(double);
   }
+  const std::size_t nt = static_cast<std::size_t>(pool->threads());
+  pool->run([&](int t) {
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const std::size_t row =
+          static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+      const std::size_t n = side.gather[s].size();
+      const std::size_t b = n * static_cast<std::size_t>(t) / nt;
+      const std::size_t e = n * (static_cast<std::size_t>(t) + 1) / nt;
+      if (b == e) continue;
+      gather_range(specs[s].data, specs[s].dim, side.gather[s].data() + b,
+                   e - b, out + base[s] + b * row);
+    }
+  });
 }
 
 void unpack_grouped(const GroupedPlan::Side& side,
                     std::span<const DatSyncSpec> specs,
-                    std::span<const std::byte> payload) {
+                    std::span<const std::byte> payload,
+                    util::ThreadPool* pool) {
   OP2CA_REQUIRE(payload.size() == side.recv_bytes,
                 "unpack_grouped: payload does not match the plan");
-  const std::byte* src = payload.data();
-  for (std::size_t s = 0; s < specs.size(); ++s) {
-    double* data = specs[s].data;
-    const std::size_t row =
-        static_cast<std::size_t>(specs[s].dim) * sizeof(double);
-    for (lidx_t i : side.scatter[s]) {
-      std::memcpy(data + static_cast<std::size_t>(i) *
-                             static_cast<std::size_t>(specs[s].dim),
-                  src, row);
-      src += row;
+  if (pool == nullptr || pool->threads() <= 1) {
+    const std::byte* src = payload.data();
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      scatter_range(specs[s].data, specs[s].dim, side.scatter[s].data(),
+                    side.scatter[s].size(), src);
+      src += side.scatter[s].size() *
+             static_cast<std::size_t>(specs[s].dim) * sizeof(double);
     }
+    return;
   }
+  // Import rows within a side are distinct, so chunks touch disjoint
+  // dat rows and the scatter is race-free at any width.
+  std::vector<std::size_t> base(specs.size());
+  std::size_t off = 0;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    base[s] = off;
+    off += side.scatter[s].size() *
+           static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+  }
+  const std::size_t nt = static_cast<std::size_t>(pool->threads());
+  pool->run([&](int t) {
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+      const std::size_t row =
+          static_cast<std::size_t>(specs[s].dim) * sizeof(double);
+      const std::size_t n = side.scatter[s].size();
+      const std::size_t b = n * static_cast<std::size_t>(t) / nt;
+      const std::size_t e = n * (static_cast<std::size_t>(t) + 1) / nt;
+      if (b == e) continue;
+      scatter_range(specs[s].data, specs[s].dim,
+                    side.scatter[s].data() + b, e - b,
+                    payload.data() + base[s] + b * row);
+    }
+  });
 }
 
 }  // namespace op2ca::halo

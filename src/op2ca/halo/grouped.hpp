@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "op2ca/halo/halo_plan.hpp"
+#include "op2ca/util/thread_pool.hpp"
 
 namespace op2ca::halo {
 
@@ -87,13 +88,21 @@ GroupedPlan build_grouped_plan(const RankPlan& rp,
                                std::span<const DatSyncSpec> specs);
 
 /// Packs the grouped message toward side.q into `out`, which must hold
-/// side.send_bytes. Allocation-free by construction.
+/// side.send_bytes. Allocation-free by construction. With a pool, each
+/// dat's gather list splits into one contiguous chunk per thread —
+/// chunks write disjoint `out` segments, so the buffer is bitwise
+/// identical at every width (pass nullptr for the serial pack).
 void pack_grouped(const GroupedPlan::Side& side,
-                  std::span<const DatSyncSpec> specs, std::byte* out);
+                  std::span<const DatSyncSpec> specs, std::byte* out,
+                  util::ThreadPool* pool = nullptr);
 
 /// Unpacks a received grouped payload (side.recv_bytes long) from side.q.
+/// With a pool, scatter lists chunk the same way; every local row appears
+/// at most once across a side's scatter lists, so chunks write disjoint
+/// dat rows.
 void unpack_grouped(const GroupedPlan::Side& side,
                     std::span<const DatSyncSpec> specs,
-                    std::span<const std::byte> payload);
+                    std::span<const std::byte> payload,
+                    util::ThreadPool* pool = nullptr);
 
 }  // namespace op2ca::halo

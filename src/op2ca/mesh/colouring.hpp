@@ -1,0 +1,52 @@
+// Greedy mesh colouring for race-free shared-memory execution of
+// indirect-increment loops (the classic OP2 intra-rank parallelisation:
+// Reguly et al., "Acceleration of a Full-scale Industrial CFD
+// Application with OP2"). Two from-set elements conflict when any map
+// entering the colouring sends both onto the same target element; the
+// colouring partitions the from-set into classes such that no class
+// contains a conflict, so every class can execute its elements in any
+// order — and in particular split across threads — with each written
+// target touched by at most one element.
+//
+// The colouring is a pure function of (element count, target arrays):
+// first-fit over elements in ascending index order. Thread count never
+// enters, which is what makes colour-ordered parallel sweeps
+// deterministic at any pool width.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "op2ca/util/types.hpp"
+
+namespace op2ca::mesh {
+
+/// One map's localized view entering a colouring: row-major targets,
+/// `targets[e * arity + k]`. kInvalidLocal entries are ignored (targets
+/// outside the rank's region, only reachable from never-executed rows).
+/// A view with arity 1 and targets[e] == e expresses identity conflicts
+/// (a dat written directly while also accessed through a map).
+struct ColourMapView {
+  const lidx_t* targets = nullptr;
+  int arity = 0;
+  lidx_t num_elements = 0;  ///< rows available in `targets`.
+  lidx_t num_targets = 0;   ///< size of the target index space.
+};
+
+struct Colouring {
+  int num_colours = 0;
+  std::vector<int> colour;       ///< per element, 0..num_colours-1.
+  std::vector<LIdxVec> classes;  ///< per colour, ascending element ids.
+};
+
+/// First-fit greedy colouring of elements [0, n): each element takes the
+/// smallest colour unused by every earlier element it conflicts with
+/// through any view. Deterministic; classes partition [0, n).
+Colouring greedy_colouring(lidx_t n, std::span<const ColourMapView> views);
+
+/// Validity predicate (property tests): no two same-colour elements
+/// share a target through any view.
+bool colouring_valid(const Colouring& c, lidx_t n,
+                     std::span<const ColourMapView> views);
+
+}  // namespace op2ca::mesh

@@ -7,12 +7,13 @@ namespace op2ca::model {
 double t_op2_loop(const Machine& mach, const LoopTerms& t) {
   const double L = mach.effective_latency();
   const double B = mach.net.bandwidth_Bps;
+  const double su = mach.compute_speedup();
   const double compute_core =
-      t.g * static_cast<double>(t.core_iters);
+      t.g * static_cast<double>(t.core_iters) / su;
   const double comm = static_cast<double>(t.msgs_per_neighbor) * t.p *
                       (L + static_cast<double>(t.m1) / B);
   return std::max(compute_core, comm) +
-         t.g * static_cast<double>(t.halo_iters);
+         t.g * static_cast<double>(t.halo_iters) / su;
 }
 
 double t_op2_chain(const Machine& mach, const std::vector<LoopTerms>& ts) {
@@ -24,10 +25,11 @@ double t_op2_chain(const Machine& mach, const std::vector<LoopTerms>& ts) {
 double t_ca_chain(const Machine& mach, const ChainTerms& t) {
   const double L = mach.effective_latency();
   const double B = mach.net.bandwidth_Bps;
+  const double su = mach.compute_speedup();
   double compute_core = 0.0, compute_halo = 0.0;
   for (const LoopTerms& lt : t.loops) {
-    compute_core += lt.g * static_cast<double>(lt.core_iters);
-    compute_halo += lt.g * static_cast<double>(lt.halo_iters);
+    compute_core += lt.g * static_cast<double>(lt.core_iters) / su;
+    compute_halo += lt.g * static_cast<double>(lt.halo_iters) / su;
   }
   // c: the EXTRA staging cost of the grouped message relative to the
   // baseline. Both executors pack their sends; only the receiver-side
