@@ -20,7 +20,9 @@
 #include "op2ca/halo/grouped.hpp"
 #include "op2ca/halo/halo_plan.hpp"
 #include "op2ca/mesh/colouring.hpp"
+#include "op2ca/mesh/hex3d.hpp"
 #include "op2ca/mesh/quad2d.hpp"
+#include "op2ca/mesh/reorder.hpp"
 #include "op2ca/partition/partition.hpp"
 #include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/rng.hpp"
@@ -417,6 +419,168 @@ ThreadedSweepResult bench_threaded_sweep() {
   return r;
 }
 
+// ---------------------------------------------------------------------
+// Locality A/B harness: the indirect synthetic-update sweep over a
+// scrambled hex3d mesh, run through the full World executor with the
+// locality layer off (partition order) and on (RCM / SFC), at pool
+// widths 1 and 4, written to BENCH_locality.json. hex3d comes out of
+// the generator in lexicographic order, so the baseline scrambles it
+// first — the arbitrary mesh-file order the reordering literature
+// starts from. The reuse proxies (gather_span / reuse_gap, see
+// mesh/reorder.hpp) of the localized edge->node map are recorded per
+// ordering so the JSON ties each speedup to a measured locality change.
+// ---------------------------------------------------------------------
+
+struct LocalityWidth {
+  int threads = 1;
+  double sweep_ns = 0;  ///< per edge, full executor path.
+  double speedup = 0;   ///< vs partition order at the same width.
+};
+
+struct LocalityOrder {
+  const char* name = "";
+  double gather_span = 0;
+  double reuse_gap = 0;
+  std::vector<LocalityWidth> widths;
+};
+
+struct LocalityResult {
+  gidx_t nodes = 0, edges = 0;
+  std::vector<LocalityOrder> orders;
+  double best_speedup = 0;
+};
+
+/// One timed configuration: builds a World over `m` (copied) and times
+/// the indirect INC sweep; also reports the localized map's reuse
+/// proxies (width-independent, so callers read them from width 1).
+double bench_locality_case(const mesh::MeshDef& m, mesh::ReorderKind kind,
+                           int threads, mesh::OrderingQuality* oq) {
+  core::WorldConfig cfg;
+  cfg.nranks = 1;
+  cfg.halo_depth = 1;
+  cfg.threads_per_rank = threads;
+  cfg.reorder.kind = kind;
+  core::World w(m, cfg);
+
+  const auto e2n = *w.mesh().find_map("e2n");
+  const auto edges_id = *w.mesh().find_set("edges");
+  const auto nodes_id = *w.mesh().find_set("nodes");
+  const halo::RankPlan& rp = w.plan().ranks[0];
+  const halo::LocalMap& lm = rp.maps[static_cast<std::size_t>(e2n)];
+  *oq = mesh::ordering_quality(
+      lm.targets.data(), lm.arity,
+      rp.sets[static_cast<std::size_t>(edges_id)].num_owned,
+      rp.sets[static_cast<std::size_t>(nodes_id)].total);
+
+  const auto num_edges = static_cast<double>(w.mesh().set(edges_id).size);
+  double per_edge_ns = 0;
+  w.run([&](core::Runtime& rt) {
+    const core::Set edges = rt.set("edges");
+    const core::Dat res = rt.dat("loc_res");
+    const core::Dat pres = rt.dat("loc_pres");
+    const core::Map map = rt.map("e2n");
+    per_edge_ns =
+        1e9 / num_edges * time_per_call([&] {
+          rt.par_loop("loc_update", edges,
+                      apps::mgcfd::kernels::synth_update,
+                      core::arg_dat(res, 0, map, core::Access::INC),
+                      core::arg_dat(res, 1, map, core::Access::INC),
+                      core::arg_dat(pres, 0, map, core::Access::READ),
+                      core::arg_dat(pres, 1, map, core::Access::READ));
+        });
+  });
+  return per_edge_ns;
+}
+
+LocalityResult bench_locality() {
+  // ~1.3M nodes / ~3.9M edges: the gathered node streams (res + pres,
+  // 4 doubles per node = ~40 MB) dwarf L1/L2, so the scrambled baseline
+  // is gather-bound and ordering quality is what the timer sees.
+  mesh::Hex3D h = mesh::make_hex3d(108, 108, 108);
+  const auto nodes = h.nodes;
+  h.mesh.add_dat("loc_res", nodes, 2);
+  {
+    const gidx_t n = h.mesh.set(nodes).size;
+    std::vector<double> pres(static_cast<std::size_t>(n) * 2);
+    Rng rng(6);
+    for (auto& v : pres) v = rng.next_range(0.5, 1.5);
+    h.mesh.add_dat("loc_pres", nodes, 2, std::move(pres));
+  }
+  const mesh::MeshDef scrambled = mesh::scramble_mesh(h.mesh, 99);
+
+  LocalityResult r;
+  r.nodes = h.mesh.set(h.nodes).size;
+  r.edges = h.mesh.set(h.edges).size;
+  const std::pair<const char*, mesh::ReorderKind> cases[] = {
+      {"none", mesh::ReorderKind::None},
+      {"rcm", mesh::ReorderKind::RCM},
+      {"sfc", mesh::ReorderKind::SFC},
+  };
+  for (const auto& [name, kind] : cases) {
+    LocalityOrder order;
+    order.name = name;
+    for (const int threads : {1, 4}) {
+      mesh::OrderingQuality oq;
+      LocalityWidth w;
+      w.threads = threads;
+      w.sweep_ns = bench_locality_case(scrambled, kind, threads, &oq);
+      if (threads == 1) {
+        order.gather_span = oq.gather_span;
+        order.reuse_gap = oq.reuse_gap;
+      }
+      order.widths.push_back(w);
+    }
+    r.orders.push_back(std::move(order));
+  }
+  // Speedups vs partition order at matching width.
+  const LocalityOrder& base = r.orders.front();
+  for (LocalityOrder& order : r.orders) {
+    for (std::size_t i = 0; i < order.widths.size(); ++i) {
+      order.widths[i].speedup =
+          base.widths[i].sweep_ns / order.widths[i].sweep_ns;
+      if (&order != &base)
+        r.best_speedup = std::max(r.best_speedup, order.widths[i].speedup);
+    }
+  }
+  return r;
+}
+
+void write_locality_json(const char* path) {
+  const LocalityResult r = bench_locality();
+  std::ofstream os(path);
+  os.precision(5);
+  os << "{\n"
+     << "  \"mesh\": {\"nodes\": " << r.nodes << ", \"edges\": " << r.edges
+     << "},\n"
+     << "  \"orders\": [\n";
+  for (std::size_t i = 0; i < r.orders.size(); ++i) {
+    const LocalityOrder& o = r.orders[i];
+    os << "    {\"order\": \"" << o.name
+       << "\", \"gather_span\": " << o.gather_span
+       << ", \"reuse_gap\": " << o.reuse_gap << ", \"widths\": [";
+    for (std::size_t j = 0; j < o.widths.size(); ++j) {
+      const LocalityWidth& w = o.widths[j];
+      os << (j == 0 ? "" : ", ") << "{\"threads\": " << w.threads
+         << ", \"sweep_ns\": " << w.sweep_ns
+         << ", \"speedup\": " << w.speedup << "}";
+    }
+    os << "]}" << (i + 1 < r.orders.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"best_speedup\": " << r.best_speedup << "\n"
+     << "}\n";
+  std::printf("locality: best reordered speedup %.2fx over partition "
+              "order -> %s\n",
+              r.best_speedup, path);
+  for (const LocalityOrder& o : r.orders) {
+    std::printf(
+        "  %-4s gather_span %.1f reuse_gap %.1f | 1t %.2f ns/edge "
+        "(%.2fx) | 4t %.2f ns/edge (%.2fx)\n",
+        o.name, o.gather_span, o.reuse_gap, o.widths[0].sweep_ns,
+        o.widths[0].speedup, o.widths[1].sweep_ns, o.widths[1].speedup);
+  }
+}
+
 void write_hotpath_json(const char* path) {
   const DispatchResult direct = bench_direct_dispatch();
   const DispatchResult indirect = bench_indirect_dispatch();
@@ -477,5 +641,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   write_hotpath_json("BENCH_hotpath.json");
+  write_locality_json("BENCH_locality.json");
   return 0;
 }

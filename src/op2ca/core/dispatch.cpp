@@ -111,13 +111,76 @@ std::int64_t run_list_chunked(RankState& st, const LoopRecord& rec,
   return static_cast<std::int64_t>(n);
 }
 
-/// One colour class (or class subrange), split across the pool via the
-/// gathered-list body. Conflict-freedom within the class makes the split
-/// race-free and width-independent.
+/// Minimum consecutive-run length worth promoting from the gathered-list
+/// body to a contiguous range body (below this the dispatch bookkeeping
+/// outweighs the vectorisation win).
+constexpr std::size_t kMinRun = 8;
+
+/// Executes idx[0..n) in ascending order through run-aware bodies:
+/// maximal consecutive runs of at least kMinRun become range regions
+/// (contiguous loads the compiler vectorises), everything between goes
+/// through the gathered-list body in one piece. The iteration order is
+/// exactly that of a single list_body call over the slice, so results
+/// are bitwise-equal to it.
+std::int64_t run_aware_span(const LoopRecord& rec, const lidx_t* idx,
+                            std::size_t n) {
+  std::int64_t regions = 0;
+  std::size_t j = 0;
+  while (j < n) {
+    std::size_t k = j + 1;
+    while (k < n && idx[k] == idx[k - 1] + 1) ++k;
+    if (k - j >= kMinRun) {
+      rec.range_body(idx[j], idx[j] + static_cast<lidx_t>(k - j));
+    } else {
+      // Merge short runs into one gathered segment.
+      while (k < n) {
+        std::size_t k2 = k + 1;
+        while (k2 < n && idx[k2] == idx[k2 - 1] + 1) ++k2;
+        if (k2 - k >= kMinRun) break;
+        k = k2;
+      }
+      rec.list_body(idx + j, k - j);
+    }
+    ++regions;
+    j = k;
+  }
+  return regions;
+}
+
+/// One colour class (or class subrange), split across the pool. With
+/// per-element colouring (block <= 1) conflict-freedom within the class
+/// makes any split race-free and width-independent; with blocked
+/// colouring the conflict-free unit is the block, so chunk boundaries
+/// advance to the next block edge (a block never straddles threads) and
+/// each chunk executes run-aware. Either way intra-chunk order is
+/// ascending, so results are a pure function of the colouring.
 void sweep_class(RankState& st, const LoopRecord& rec, const lidx_t* idx,
-                 std::size_t n) {
+                 std::size_t n, lidx_t block) {
   if (n == 0) return;
-  run_list_chunked(st, rec, idx, n);
+  if (block <= 1) {
+    run_list_chunked(st, rec, idx, n);
+    return;
+  }
+  util::ThreadPool& pool = *st.pool;
+  std::vector<std::size_t> off = chunk_offsets(n, pool.threads());
+  for (std::size_t t = 1; t + 1 < off.size(); ++t) {
+    std::size_t o = std::max(off[t], off[t - 1]);
+    while (o > 0 && o < n && idx[o] / block == idx[o - 1] / block) ++o;
+    off[t] = o;
+  }
+  std::vector<std::int64_t> regions(
+      static_cast<std::size_t>(pool.threads()), 0);
+  pool.run([&](int t) {
+    const std::size_t b = off[static_cast<std::size_t>(t)];
+    const std::size_t e = off[static_cast<std::size_t>(t) + 1];
+    if (b < e)
+      regions[static_cast<std::size_t>(t)] =
+          run_aware_span(rec, idx + b, e - b);
+  });
+  for (int t = 0; t < pool.threads(); ++t) {
+    st.dispatch_regions += regions[static_cast<std::size_t>(t)];
+    st.dispatch_chunks += regions[static_cast<std::size_t>(t)] > 0;
+  }
 }
 
 }  // namespace
@@ -154,8 +217,37 @@ const mesh::Colouring& loop_colouring(RankState& st, const LoopRecord& rec) {
     }
     views.push_back(v);
   }
-  mesh::Colouring col = mesh::greedy_colouring(lay.total, views);
+  mesh::Colouring col =
+      st.colour_block > 1
+          ? mesh::block_colouring(lay.total, views, st.colour_block)
+          : mesh::greedy_colouring(lay.total, views);
   return st.colourings.emplace(key, std::move(col)).first->second;
+}
+
+const mesh::OrderingQuality& loop_quality(RankState& st,
+                                          const LoopRecord& rec) {
+  const auto it = st.loop_qualities.find(rec.name);
+  if (it != st.loop_qualities.end()) return it->second;
+  mesh::OrderingQuality q{};
+  const halo::RankPlan& rp = st.rank_plan();
+  mesh::map_id best = -1;
+  int best_arity = 0;
+  for (const ArgSpec& a : rec.spec.args)
+    if (a.indirect && a.map >= 0) {
+      const int ar = rp.maps[static_cast<std::size_t>(a.map)].arity;
+      if (ar > best_arity) {
+        best_arity = ar;
+        best = a.map;
+      }
+    }
+  if (best >= 0) {
+    const halo::LocalMap& lm = rp.maps[static_cast<std::size_t>(best)];
+    const mesh::MapDef& md = st.world->mesh().map(best);
+    q = mesh::ordering_quality(
+        lm.targets.data(), lm.arity, st.layout(rec.set).num_owned,
+        rp.sets[static_cast<std::size_t>(md.to)].total);
+  }
+  return st.loop_qualities.emplace(rec.name, q).first->second;
 }
 
 std::int64_t run_range(RankState& st, const LoopRecord& rec, lidx_t begin,
@@ -183,7 +275,7 @@ std::int64_t run_range(RankState& st, const LoopRecord& rec, lidx_t begin,
     const auto lo = std::lower_bound(cls.begin(), cls.end(), begin);
     const auto hi = std::lower_bound(lo, cls.end(), end);
     sweep_class(st, rec, cls.data() + (lo - cls.begin()),
-                static_cast<std::size_t>(hi - lo));
+                static_cast<std::size_t>(hi - lo), col.block_elems);
   }
   return end - begin;
 }
@@ -218,7 +310,8 @@ std::int64_t run_list(RankState& st, const LoopRecord& rec,
         .push_back(i);
   for (int c = 0; c < col.num_colours; ++c)
     sweep_class(st, rec, buckets[static_cast<std::size_t>(c)].data(),
-                buckets[static_cast<std::size_t>(c)].size());
+                buckets[static_cast<std::size_t>(c)].size(),
+                col.block_elems);
   return static_cast<std::int64_t>(idx.size());
 }
 

@@ -218,6 +218,11 @@ void execute_chain_ca(RankState& st, const std::string& name,
   metrics.max_colours = st.dispatch_max_colours;
   metrics.busy_seconds =
       st.pool ? st.pool->busy_seconds() - busy_before : 0.0;
+  for (const auto& rec : loops) {
+    const mesh::OrderingQuality& oq = loop_quality(st, rec);
+    metrics.gather_span = std::max(metrics.gather_span, oq.gather_span);
+    metrics.reuse_gap = std::max(metrics.reuse_gap, oq.reuse_gap);
+  }
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;

@@ -176,6 +176,9 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   metrics.max_colours = st.dispatch_max_colours;
   metrics.busy_seconds =
       st.pool ? st.pool->busy_seconds() - busy_before : 0.0;
+  const mesh::OrderingQuality& oq = loop_quality(st, rec);
+  metrics.gather_span = oq.gather_span;
+  metrics.reuse_gap = oq.reuse_gap;
 
   LoopMetrics& agg = st.loop_metrics[rec.name];
   const std::int64_t prev_calls = agg.calls;

@@ -25,7 +25,9 @@
 #include "op2ca/core/chain.hpp"
 #include "op2ca/core/chain_config.hpp"
 #include "op2ca/halo/halo_plan.hpp"
+#include "op2ca/halo/reorder.hpp"
 #include "op2ca/mesh/mesh_def.hpp"
+#include "op2ca/mesh/reorder.hpp"
 #include "op2ca/partition/partition.hpp"
 
 namespace op2ca::core {
@@ -96,6 +98,13 @@ struct LoopMetrics {
   std::int64_t chunks = 0;
   int max_colours = 0;
   double busy_seconds = 0;
+  // Locality proxies of the loop's dominant indirection in the order it
+  // is actually walked (mesh::ordering_quality, worst rank): mean jump
+  // between consecutive gathers and mean iteration gap before a target
+  // is touched again. 0 for direct loops. Reordering (WorldConfig::
+  // reorder) should pull both down — asserted by the locality bench.
+  double gather_span = 0;
+  double reuse_gap = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -274,6 +283,15 @@ struct WorldConfig {
   /// relative to width 1. Ignored when serial_dispatch is set. Loops
   /// reducing into globals execute serially regardless.
   int threads_per_rank = 1;
+  /// Locality layer (mesh/reorder + halo/reorder): cache-aware
+  /// renumbering of each rank's local elements within the halo-plan
+  /// layers, plus locality-aware (blocked) colouring of threaded
+  /// indirect sweeps. Off by default — the runtime is then
+  /// bitwise-identical to the un-reordered build. With it on, direct
+  /// loops stay exact (same arithmetic per element) while loops that
+  /// reduce over elements (indirect INC, global INC) reassociate their
+  /// sums, like any other iteration-order change.
+  mesh::ReorderConfig reorder{};
   ChainConfig chains{};
   /// Lazy evaluation (the paper's future-work automation): par_loops are
   /// queued instead of executed, and flushed as an automatically-formed
@@ -309,6 +327,9 @@ public:
   const WorldConfig& config() const { return cfg_; }
   const partition::Partition& partition() const { return part_; }
   const halo::HaloPlan& plan() const { return plan_; }
+  /// Per-(rank, set) permutations the locality layer applied (empty
+  /// permutations when reordering is off). For tests and tools.
+  const halo::ReorderResult& reorder_result() const { return reorder_; }
 
   /// Metrics merged over ranks, keyed by loop / chain name.
   std::map<std::string, LoopMetrics> loop_metrics() const;
@@ -325,6 +346,7 @@ private:
   WorldConfig cfg_;
   partition::Partition part_;
   halo::HaloPlan plan_;
+  halo::ReorderResult reorder_;
   std::unique_ptr<sim::Transport> transport_;
   std::vector<std::unique_ptr<detail::RankState>> ranks_;
 };

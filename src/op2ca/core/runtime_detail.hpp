@@ -11,6 +11,7 @@
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/halo/grouped.hpp"
 #include "op2ca/mesh/colouring.hpp"
+#include "op2ca/mesh/reorder.hpp"
 #include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/thread_pool.hpp"
 
@@ -106,6 +107,17 @@ struct RankState {
   std::vector<LIdxVec> colour_scratch;
   std::int64_t dispatch_chunks = 0;   ///< running pool-chunk count.
   int dispatch_max_colours = 0;       ///< reset per loop by the executors.
+  /// Conflict-block granularity for colour-ordered sweeps: > 1 switches
+  /// loop_colouring to mesh::block_colouring and run-aware dispatch
+  /// (contiguous runs execute through range bodies). 1 when the locality
+  /// layer is off — the legacy per-element path, bitwise-identical to
+  /// earlier builds.
+  lidx_t colour_block = 1;
+
+  /// Ordering-quality proxies per loop name (mesh::ordering_quality of
+  /// the loop's widest indirection, computed once — it is O(iterations)
+  /// and belongs to inspection, not the hot path).
+  std::map<std::string, mesh::OrderingQuality> loop_qualities;
 
   // Per-rank metrics, merged by the World after each run.
   std::map<std::string, LoopMetrics> loop_metrics;
@@ -161,7 +173,13 @@ std::int64_t run_list(RankState& st, const LoopRecord& rec,
 /// through which the loop writes indirectly, plus an identity view when
 /// a written dat is also accessed directly). Built on first use, cached
 /// in RankState::colourings. Exposed for the threaded-executor tests.
+/// Blocked (st.colour_block > 1, the locality layer) or per-element.
 const mesh::Colouring& loop_colouring(RankState& st, const LoopRecord& rec);
+
+/// Ordering-quality proxies of the loop's widest indirect argument over
+/// the owned range (cached per loop name; zeros for direct loops).
+const mesh::OrderingQuality& loop_quality(RankState& st,
+                                          const LoopRecord& rec);
 
 /// True when the loop must redundantly execute import-exec halo layers
 /// under owner-compute (it writes through a map).

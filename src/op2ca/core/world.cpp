@@ -33,6 +33,13 @@ World::World(mesh::MeshDef mesh, WorldConfig cfg)
   opts.build_local_maps = true;
   plan_ = halo::build_halo_plan(mesh_, part_, opts);
 
+  // Locality layer: permute each rank's local numbering within the plan's
+  // layers BEFORE any per-rank state exists. Dats, exchange plans,
+  // colourings and slice tables are all derived lazily from the plan, so
+  // ordering the permutation here is what guarantees no cache ever sees
+  // the pre-reorder numbering.
+  reorder_ = halo::apply_reorder(mesh_, cfg_.reorder, &plan_);
+
   transport_ = std::make_unique<sim::Transport>(cfg_.nranks);
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (rank_t r = 0; r < cfg_.nranks; ++r)
@@ -123,7 +130,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                 "msgs", "bytes", "max_msg_bytes", "max_neighbors",
                 "wall_s", "pack_s", "core_s", "wait_s", "unpack_s",
                 "halo_s", "regions", "plan_builds", "staging_allocs",
-                "chunks", "colours", "busy_s"});
+                "chunks", "colours", "busy_s", "gather_span",
+                "reuse_gap"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -133,7 +141,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                m.pack_seconds, m.core_seconds, m.wait_seconds,
                m.unpack_seconds, m.halo_seconds, m.dispatch_regions,
                m.plan_builds, m.staging_allocs, m.chunks,
-               static_cast<std::int64_t>(m.max_colours), m.busy_seconds});
+               static_cast<std::int64_t>(m.max_colours), m.busy_seconds,
+               m.gather_span, m.reuse_gap});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

@@ -1,0 +1,304 @@
+#include "op2ca/halo/reorder.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "op2ca/mesh/adjacency.hpp"
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::halo {
+namespace {
+
+/// Buckets larger than this connect as a path instead of a clique: the
+/// clique keeps RCM's profile tight for ordinary mesh incidence (a node
+/// shared by a handful of edges/cells) without letting a hub target
+/// (e.g. a boundary-condition element referenced by thousands of rows)
+/// blow the edge list up quadratically.
+constexpr lidx_t kCliqueCap = 16;
+
+void add_group_edges(const LIdxVec& group,
+                     std::vector<std::pair<lidx_t, lidx_t>>* edges) {
+  const lidx_t n = static_cast<lidx_t>(group.size());
+  if (n < 2) return;
+  if (n <= kCliqueCap) {
+    for (lidx_t a = 0; a < n; ++a)
+      for (lidx_t b = a + 1; b < n; ++b) {
+        edges->emplace_back(group[static_cast<std::size_t>(a)],
+                            group[static_cast<std::size_t>(b)]);
+        edges->emplace_back(group[static_cast<std::size_t>(b)],
+                            group[static_cast<std::size_t>(a)]);
+      }
+  } else {
+    for (lidx_t a = 0; a + 1 < n; ++a) {
+      edges->emplace_back(group[static_cast<std::size_t>(a)],
+                          group[static_cast<std::size_t>(a) + 1]);
+      edges->emplace_back(group[static_cast<std::size_t>(a) + 1],
+                          group[static_cast<std::size_t>(a)]);
+    }
+  }
+}
+
+/// Loop-conflict adjacency of set `s` in rank-local numbering: two
+/// elements are adjacent when a map entry joins them — either as
+/// same-row targets of a map onto `s`, or as rows of a map from `s`
+/// sharing a target. This is exactly the structure indirect kernels
+/// gather through, so minimising its bandwidth is minimising the
+/// gather working set.
+mesh::LocalCsr conflict_graph(const mesh::MeshDef& mesh, const RankPlan& rp,
+                              mesh::set_id s) {
+  const lidx_t n = rp.sets[static_cast<std::size_t>(s)].total;
+  std::vector<std::pair<lidx_t, lidx_t>> edges;
+  LIdxVec group;
+  for (mesh::map_id m = 0; m < mesh.num_maps(); ++m) {
+    const mesh::MapDef& md = mesh.map(m);
+    const LocalMap& lm = rp.maps[static_cast<std::size_t>(m)];
+    const std::size_t ar = static_cast<std::size_t>(lm.arity);
+    if (ar == 0) continue;
+    const std::size_t rows = lm.targets.size() / ar;
+    if (md.to == s) {
+      for (std::size_t f = 0; f < rows; ++f) {
+        group.clear();
+        for (std::size_t k = 0; k < ar; ++k) {
+          const lidx_t t = lm.targets[f * ar + k];
+          if (t != kInvalidLocal) group.push_back(t);
+        }
+        add_group_edges(group, &edges);
+      }
+    }
+    if (md.from == s) {
+      // Reverse incidence: rows of this map bucketed by target.
+      const lidx_t nt = rp.sets[static_cast<std::size_t>(md.to)].total;
+      std::vector<std::size_t> count(static_cast<std::size_t>(nt) + 1, 0);
+      for (std::size_t i = 0; i < lm.targets.size(); ++i) {
+        const lidx_t t = lm.targets[i];
+        if (t != kInvalidLocal) ++count[static_cast<std::size_t>(t) + 1];
+      }
+      for (std::size_t t = 1; t < count.size(); ++t) count[t] += count[t - 1];
+      LIdxVec sources(count.back());
+      std::vector<std::size_t> at(count.begin(), count.end() - 1);
+      for (std::size_t f = 0; f < rows; ++f)
+        for (std::size_t k = 0; k < ar; ++k) {
+          const lidx_t t = lm.targets[f * ar + k];
+          if (t == kInvalidLocal) continue;
+          sources[at[static_cast<std::size_t>(t)]++] =
+              static_cast<lidx_t>(f);
+        }
+      for (lidx_t t = 0; t < nt; ++t) {
+        group.assign(sources.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             count[static_cast<std::size_t>(t)]),
+                     sources.begin() +
+                         static_cast<std::ptrdiff_t>(
+                             count[static_cast<std::size_t>(t) + 1]));
+        add_group_edges(group, &edges);
+      }
+    }
+  }
+  return mesh::csr_from_edges(n, std::move(edges));
+}
+
+/// Gathers a set's (derived, global) coordinates into local order.
+std::vector<double> local_coords(const std::vector<double>& global_coords,
+                                 int dim, const SetLayout& lay) {
+  std::vector<double> out(static_cast<std::size_t>(lay.total) *
+                          static_cast<std::size_t>(dim));
+  for (lidx_t i = 0; i < lay.total; ++i) {
+    const std::size_t g =
+        static_cast<std::size_t>(lay.local_to_global[static_cast<std::size_t>(i)]);
+    for (int c = 0; c < dim; ++c)
+      out[static_cast<std::size_t>(i) * static_cast<std::size_t>(dim) +
+          static_cast<std::size_t>(c)] =
+          global_coords[g * static_cast<std::size_t>(dim) +
+                        static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+/// Rewrites the maps touching permuted set `s` on one rank: rows of maps
+/// *from* s move to their new positions, targets of maps *onto* s are
+/// renamed through the permutation (both at once for self-maps).
+void permute_rank_maps(const mesh::MeshDef& mesh, RankPlan* rp,
+                       mesh::set_id s, const mesh::Permutation& p) {
+  for (mesh::map_id m = 0; m < mesh.num_maps(); ++m) {
+    const mesh::MapDef& md = mesh.map(m);
+    const bool from_s = md.from == s;
+    const bool to_s = md.to == s;
+    if (!from_s && !to_s) continue;
+    LocalMap& lm = rp->maps[static_cast<std::size_t>(m)];
+    const std::size_t ar = static_cast<std::size_t>(lm.arity);
+    const std::size_t rows = lm.targets.size() / ar;
+    LIdxVec out(lm.targets.size());
+    for (std::size_t f = 0; f < rows; ++f) {
+      const std::size_t nf =
+          from_s ? static_cast<std::size_t>(p.new_of_old[f]) : f;
+      for (std::size_t k = 0; k < ar; ++k) {
+        lidx_t t = lm.targets[f * ar + k];
+        if (to_s && t != kInvalidLocal)
+          t = p.new_of_old[static_cast<std::size_t>(t)];
+        out[nf * ar + k] = t;
+      }
+    }
+    lm.targets = std::move(out);
+  }
+}
+
+void rename_lists(std::map<rank_t, std::vector<LIdxVec>>* tab,
+                  const mesh::Permutation& p) {
+  for (auto& [q, layers] : *tab)
+    for (LIdxVec& idx : layers)
+      for (lidx_t& i : idx)
+        i = p.new_of_old[static_cast<std::size_t>(i)];
+}
+
+/// Jointly re-sorts one (export, mirroring import) list pair into
+/// ascending exporter-index order. The positional pairing is the
+/// transport contract, so both sides permute together.
+void sort_list_pair(LIdxVec* exp, LIdxVec* imp) {
+  OP2CA_ASSERT(exp->size() == imp->size(),
+               "reorder: export/import list size mismatch");
+  const std::size_t n = exp->size();
+  if (n < 2) return;
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return (*exp)[a] < (*exp)[b];
+  });
+  LIdxVec new_exp(n), new_imp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    new_exp[i] = (*exp)[order[i]];
+    new_imp[i] = (*imp)[order[i]];
+  }
+  *exp = std::move(new_exp);
+  *imp = std::move(new_imp);
+}
+
+}  // namespace
+
+mesh::BlockVec reorder_blocks(const SetLayout& lay, int depth) {
+  mesh::BlockVec blocks;
+  const int clamp = depth + 1;
+  lidx_t b = 0;
+  while (b < lay.num_owned) {
+    const int din = std::min(lay.owned_din[static_cast<std::size_t>(b)], clamp);
+    lidx_t e = b;
+    while (e < lay.num_owned &&
+           std::min(lay.owned_din[static_cast<std::size_t>(e)], clamp) == din)
+      ++e;
+    blocks.emplace_back(b, e);
+    b = e;
+  }
+  for (int k = 1; k <= depth; ++k) blocks.push_back(lay.exec_layer(k));
+  for (int k = 1; k <= depth; ++k) blocks.push_back(lay.nonexec_layer(k));
+  return blocks;
+}
+
+ReorderResult apply_reorder(const mesh::MeshDef& mesh,
+                            const mesh::ReorderConfig& cfg, HaloPlan* plan) {
+  ReorderResult res;
+  res.perms.resize(static_cast<std::size_t>(plan->nranks));
+  for (auto& per_set : res.perms)
+    per_set.resize(static_cast<std::size_t>(mesh.num_sets()));
+  res.set_kind.assign(static_cast<std::size_t>(mesh.num_sets()),
+                      mesh::ReorderKind::None);
+  if (!cfg.enabled()) return res;
+  OP2CA_REQUIRE(plan->has_local_maps,
+                "apply_reorder needs a plan with local maps");
+
+  // Resolve the per-set policy once; Auto prefers the geometric curve
+  // and falls back to RCM for sets without a path to the coords dat.
+  std::vector<std::vector<double>> global_coords(
+      static_cast<std::size_t>(mesh.num_sets()));
+  const int dim = mesh.has_coords() ? mesh.dat(mesh.coords_dat()).dim : 0;
+  for (mesh::set_id s = 0; s < mesh.num_sets(); ++s) {
+    mesh::ReorderKind k = cfg.for_set(mesh.set(s).name);
+    if (k == mesh::ReorderKind::Auto || k == mesh::ReorderKind::SFC) {
+      try {
+        global_coords[static_cast<std::size_t>(s)] =
+            mesh::derive_coords(mesh, s);
+        k = mesh::ReorderKind::SFC;
+      } catch (const Error&) {
+        OP2CA_REQUIRE(k == mesh::ReorderKind::Auto,
+                      "reorder: SFC requested for set '" + mesh.set(s).name +
+                          "' but no geometric path exists");
+        k = mesh::ReorderKind::RCM;
+      }
+    }
+    res.set_kind[static_cast<std::size_t>(s)] = k;
+  }
+
+  for (rank_t r = 0; r < plan->nranks; ++r) {
+    RankPlan& rp = plan->ranks[static_cast<std::size_t>(r)];
+    for (mesh::set_id s = 0; s < mesh.num_sets(); ++s) {
+      const mesh::ReorderKind kind =
+          res.set_kind[static_cast<std::size_t>(s)];
+      if (kind == mesh::ReorderKind::None) continue;
+      SetLayout& lay = rp.sets[static_cast<std::size_t>(s)];
+      if (lay.total == 0) continue;
+
+      const mesh::BlockVec blocks = reorder_blocks(lay, plan->depth);
+      mesh::Permutation p =
+          kind == mesh::ReorderKind::RCM
+              ? mesh::rcm_order(conflict_graph(mesh, rp, s), blocks)
+              : mesh::sfc_order(
+                    local_coords(global_coords[static_cast<std::size_t>(s)],
+                                 dim, lay),
+                    dim, lay.total, blocks);
+
+      // Clamp interior distances even for identity permutations so the
+      // layout invariant is uniform across ranks.
+      const int clamp = plan->depth + 1;
+      for (int& d : lay.owned_din) d = std::min(d, clamp);
+
+      if (!p.is_identity()) {
+        lay.local_to_global = mesh::permute_rows(p, 1, lay.local_to_global);
+        std::vector<int> din(lay.owned_din.size());
+        for (std::size_t i = 0; i < din.size(); ++i)
+          din[static_cast<std::size_t>(p.new_of_old[i])] = lay.owned_din[i];
+        lay.owned_din = std::move(din);
+
+        permute_rank_maps(mesh, &rp, s, p);
+        NeighborLists& nl = rp.lists[static_cast<std::size_t>(s)];
+        rename_lists(&nl.exp_exec, p);
+        rename_lists(&nl.exp_nonexec, p);
+        rename_lists(&nl.imp_exec, p);
+        rename_lists(&nl.imp_nonexec, p);
+        ++res.sets_reordered;
+      }
+      res.perms[static_cast<std::size_t>(r)][static_cast<std::size_t>(s)] =
+          std::move(p);
+    }
+  }
+
+  // Restore ascending export order (jointly with the mirroring import
+  // lists — positional pairing is the transport contract) so steady-state
+  // pack gathers stream through memory monotonically.
+  for (rank_t r = 0; r < plan->nranks; ++r) {
+    RankPlan& rp = plan->ranks[static_cast<std::size_t>(r)];
+    for (mesh::set_id s = 0; s < mesh.num_sets(); ++s) {
+      if (res.set_kind[static_cast<std::size_t>(s)] ==
+          mesh::ReorderKind::None)
+        continue;
+      NeighborLists& nl = rp.lists[static_cast<std::size_t>(s)];
+      auto sort_table = [&](std::map<rank_t, std::vector<LIdxVec>>* exp_tab,
+                            bool exec) {
+        for (auto& [q, layers] : *exp_tab) {
+          NeighborLists& peer_nl = plan->ranks[static_cast<std::size_t>(q)]
+                                       .lists[static_cast<std::size_t>(s)];
+          auto& imp_tab = exec ? peer_nl.imp_exec : peer_nl.imp_nonexec;
+          const auto it = imp_tab.find(r);
+          OP2CA_ASSERT(it != imp_tab.end() &&
+                           it->second.size() == layers.size(),
+                       "reorder: export list without mirroring import");
+          for (std::size_t k = 0; k < layers.size(); ++k)
+            sort_list_pair(&layers[k], &it->second[k]);
+        }
+      };
+      sort_table(&nl.exp_exec, true);
+      sort_table(&nl.exp_nonexec, false);
+    }
+  }
+  return res;
+}
+
+}  // namespace op2ca::halo

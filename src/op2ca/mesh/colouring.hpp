@@ -37,6 +37,14 @@ struct Colouring {
   int num_colours = 0;
   std::vector<int> colour;       ///< per element, 0..num_colours-1.
   std::vector<LIdxVec> classes;  ///< per colour, ascending element ids.
+  /// Conflict granularity: elements [b*block_elems, (b+1)*block_elems)
+  /// form block b and share one colour. 1 = classic per-element
+  /// colouring. With block_elems > 1 a colour class is conflict-free
+  /// *between* blocks only — elements inside a block may conflict with
+  /// each other, so a parallel sweep must keep each block on one thread
+  /// and run it in ascending order (core/dispatch aligns its chunk
+  /// boundaries to blocks).
+  lidx_t block_elems = 1;
 };
 
 /// First-fit greedy colouring of elements [0, n): each element takes the
@@ -44,8 +52,18 @@ struct Colouring {
 /// through any view. Deterministic; classes partition [0, n).
 Colouring greedy_colouring(lidx_t n, std::span<const ColourMapView> views);
 
+/// Locality-aware variant: colours contiguous blocks of `block_elems`
+/// elements (two blocks conflict when any of their elements share a
+/// target), so every colour class is a union of contiguous runs that the
+/// dispatcher can execute as range regions instead of gathered lists.
+/// block_elems <= 1 degenerates to greedy_colouring.
+Colouring block_colouring(lidx_t n, std::span<const ColourMapView> views,
+                          lidx_t block_elems);
+
 /// Validity predicate (property tests): no two same-colour elements
-/// share a target through any view.
+/// share a target through any view. Honours `c.block_elems`: with
+/// blocked colourings the conflict-free unit is the block, so
+/// same-block sharing is legal.
 bool colouring_valid(const Colouring& c, lidx_t n,
                      std::span<const ColourMapView> views);
 

@@ -1,0 +1,335 @@
+#include "op2ca/mesh/reorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "op2ca/util/error.hpp"
+#include "op2ca/util/rng.hpp"
+
+namespace op2ca::mesh {
+namespace {
+
+/// Quantisation resolution per axis for the Morton key. 20 bits x 3
+/// axes = 60 bits, fits a uint64 key.
+constexpr int kSfcBits = 20;
+
+std::uint64_t interleave_bits(const std::uint32_t* q, int dim) {
+  std::uint64_t key = 0;
+  for (int b = 0; b < kSfcBits; ++b)
+    for (int a = 0; a < dim; ++a)
+      key |= static_cast<std::uint64_t>((q[a] >> b) & 1u)
+             << (b * dim + a);
+  return key;
+}
+
+}  // namespace
+
+const char* reorder_kind_name(ReorderKind k) {
+  switch (k) {
+    case ReorderKind::None: return "none";
+    case ReorderKind::RCM: return "rcm";
+    case ReorderKind::SFC: return "sfc";
+    case ReorderKind::Auto: return "auto";
+  }
+  return "?";
+}
+
+bool ReorderConfig::enabled() const {
+  if (kind != ReorderKind::None) return true;
+  for (const auto& [name, k] : per_set)
+    if (k != ReorderKind::None) return true;
+  return false;
+}
+
+ReorderKind ReorderConfig::for_set(const std::string& set_name) const {
+  const auto it = per_set.find(set_name);
+  return it == per_set.end() ? kind : it->second;
+}
+
+bool Permutation::is_identity() const {
+  for (lidx_t i = 0; i < size(); ++i)
+    if (new_of_old[static_cast<std::size_t>(i)] != i) return false;
+  return true;
+}
+
+Permutation make_permutation(LIdxVec new_of_old) {
+  Permutation p;
+  p.new_of_old = std::move(new_of_old);
+  const std::size_t n = p.new_of_old.size();
+  p.old_of_new.assign(n, kInvalidLocal);
+  for (std::size_t i = 0; i < n; ++i) {
+    const lidx_t d = p.new_of_old[i];
+    OP2CA_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < n &&
+                      p.old_of_new[static_cast<std::size_t>(d)] ==
+                          kInvalidLocal,
+                  "make_permutation: not a bijection");
+    p.old_of_new[static_cast<std::size_t>(d)] = static_cast<lidx_t>(i);
+  }
+  return p;
+}
+
+bool permutation_valid(const Permutation& p) {
+  const std::size_t n = p.new_of_old.size();
+  if (p.old_of_new.size() != n) return false;
+  std::vector<bool> hit(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const lidx_t d = p.new_of_old[i];
+    if (d < 0 || static_cast<std::size_t>(d) >= n ||
+        hit[static_cast<std::size_t>(d)])
+      return false;
+    hit[static_cast<std::size_t>(d)] = true;
+    if (p.old_of_new[static_cast<std::size_t>(d)] !=
+        static_cast<lidx_t>(i))
+      return false;
+  }
+  return true;
+}
+
+bool permutation_preserves_blocks(const Permutation& p,
+                                  const BlockVec& blocks) {
+  if (p.empty()) return true;  // identity
+  for (const auto& [b, e] : blocks)
+    for (lidx_t i = b; i < e; ++i) {
+      const lidx_t d = p.new_of_old[static_cast<std::size_t>(i)];
+      if (d < b || d >= e) return false;
+    }
+  return true;
+}
+
+LocalCsr csr_from_edges(lidx_t n,
+                        std::vector<std::pair<lidx_t, lidx_t>> edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  LocalCsr csr;
+  csr.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges)
+    if (u != v) ++csr.offsets[static_cast<std::size_t>(u) + 1];
+  for (std::size_t i = 1; i < csr.offsets.size(); ++i)
+    csr.offsets[i] += csr.offsets[i - 1];
+  csr.adj.resize(csr.offsets.back());
+  std::vector<std::size_t> at(csr.offsets.begin(), csr.offsets.end() - 1);
+  for (const auto& [u, v] : edges)
+    if (u != v) csr.adj[at[static_cast<std::size_t>(u)]++] = v;
+  return csr;
+}
+
+Permutation rcm_order(const LocalCsr& adj, const BlockVec& blocks) {
+  const lidx_t n = adj.num_rows();
+  LIdxVec new_of_old(static_cast<std::size_t>(n));
+  std::iota(new_of_old.begin(), new_of_old.end(), 0);
+
+  std::vector<int> block_of(static_cast<std::size_t>(n), -1);
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    for (lidx_t i = blocks[b].first; i < blocks[b].second; ++i)
+      block_of[static_cast<std::size_t>(i)] = static_cast<int>(b);
+
+  // In-block degree (adjacency leaving the block does not count: it can
+  // neither be followed nor violated).
+  std::vector<lidx_t> degree(static_cast<std::size_t>(n), 0);
+  for (lidx_t e = 0; e < n; ++e)
+    for (lidx_t v : adj.row(e))
+      if (block_of[static_cast<std::size_t>(v)] ==
+          block_of[static_cast<std::size_t>(e)])
+        ++degree[static_cast<std::size_t>(e)];
+
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  LIdxVec order, frontier;
+  for (const auto& [b0, b1] : blocks) {
+    if (b1 - b0 < 2) continue;
+    order.clear();
+    // Seeds in ascending (degree, index): every component of the block
+    // starts from a (locally) minimal-degree element, the usual RCM
+    // pseudo-peripheral stand-in.
+    LIdxVec seeds;
+    for (lidx_t i = b0; i < b1; ++i) seeds.push_back(i);
+    std::sort(seeds.begin(), seeds.end(), [&](lidx_t a, lidx_t b) {
+      const lidx_t da = degree[static_cast<std::size_t>(a)];
+      const lidx_t db = degree[static_cast<std::size_t>(b)];
+      return da != db ? da < db : a < b;
+    });
+    for (lidx_t seed : seeds) {
+      if (visited[static_cast<std::size_t>(seed)]) continue;
+      visited[static_cast<std::size_t>(seed)] = 1;
+      order.push_back(seed);
+      for (std::size_t head = order.size() - 1; head < order.size();
+           ++head) {
+        const lidx_t u = order[head];
+        frontier.clear();
+        for (lidx_t v : adj.row(u)) {
+          if (v < b0 || v >= b1) continue;
+          if (visited[static_cast<std::size_t>(v)]) continue;
+          visited[static_cast<std::size_t>(v)] = 1;
+          frontier.push_back(v);
+        }
+        std::sort(frontier.begin(), frontier.end(),
+                  [&](lidx_t a, lidx_t b) {
+                    const lidx_t da = degree[static_cast<std::size_t>(a)];
+                    const lidx_t db = degree[static_cast<std::size_t>(b)];
+                    return da != db ? da < db : a < b;
+                  });
+        order.insert(order.end(), frontier.begin(), frontier.end());
+      }
+    }
+    // Reverse Cuthill–McKee: the reversal tightens the profile.
+    const lidx_t len = static_cast<lidx_t>(order.size());
+    for (lidx_t m = 0; m < len; ++m)
+      new_of_old[static_cast<std::size_t>(order[static_cast<std::size_t>(m)])] =
+          b0 + (len - 1 - m);
+  }
+  return make_permutation(std::move(new_of_old));
+}
+
+Permutation sfc_order(std::span<const double> coords, int dim, lidx_t n,
+                      const BlockVec& blocks) {
+  OP2CA_REQUIRE(dim == 2 || dim == 3, "sfc_order: dim must be 2 or 3");
+  OP2CA_REQUIRE(coords.size() >=
+                    static_cast<std::size_t>(n) *
+                        static_cast<std::size_t>(dim),
+                "sfc_order: coords shorter than n x dim");
+  LIdxVec new_of_old(static_cast<std::size_t>(n));
+  std::iota(new_of_old.begin(), new_of_old.end(), 0);
+
+  std::vector<std::pair<std::uint64_t, lidx_t>> keyed;
+  for (const auto& [b0, b1] : blocks) {
+    if (b1 - b0 < 2) continue;
+    double lo[3] = {std::numeric_limits<double>::max(),
+                    std::numeric_limits<double>::max(),
+                    std::numeric_limits<double>::max()};
+    double hi[3] = {std::numeric_limits<double>::lowest(),
+                    std::numeric_limits<double>::lowest(),
+                    std::numeric_limits<double>::lowest()};
+    for (lidx_t i = b0; i < b1; ++i)
+      for (int a = 0; a < dim; ++a) {
+        const double x = coords[static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(dim) +
+                                static_cast<std::size_t>(a)];
+        lo[a] = std::min(lo[a], x);
+        hi[a] = std::max(hi[a], x);
+      }
+    const std::uint32_t qmax = (1u << kSfcBits) - 1u;
+    keyed.clear();
+    keyed.reserve(static_cast<std::size_t>(b1 - b0));
+    for (lidx_t i = b0; i < b1; ++i) {
+      std::uint32_t q[3] = {0, 0, 0};
+      for (int a = 0; a < dim; ++a) {
+        const double span = hi[a] - lo[a];
+        if (span <= 0) continue;
+        const double x = coords[static_cast<std::size_t>(i) *
+                                    static_cast<std::size_t>(dim) +
+                                static_cast<std::size_t>(a)];
+        const double t = (x - lo[a]) / span;
+        q[a] = static_cast<std::uint32_t>(
+            std::min(1.0, std::max(0.0, t)) * qmax);
+      }
+      keyed.emplace_back(interleave_bits(q, dim), i);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t m = 0; m < keyed.size(); ++m)
+      new_of_old[static_cast<std::size_t>(keyed[m].second)] =
+          b0 + static_cast<lidx_t>(m);
+  }
+  return make_permutation(std::move(new_of_old));
+}
+
+OrderingQuality ordering_quality(const lidx_t* targets, int arity,
+                                 lidx_t num_elements, lidx_t num_targets) {
+  OrderingQuality q;
+  if (num_elements < 2 || arity < 1) return q;
+  // gather_span: per-column jump between consecutive iterations.
+  double span_sum = 0.0;
+  std::int64_t span_n = 0;
+  for (int k = 0; k < arity; ++k) {
+    lidx_t prev = kInvalidLocal;
+    for (lidx_t e = 0; e < num_elements; ++e) {
+      const lidx_t t = targets[static_cast<std::size_t>(e) *
+                                   static_cast<std::size_t>(arity) +
+                               static_cast<std::size_t>(k)];
+      if (t == kInvalidLocal) continue;
+      if (prev != kInvalidLocal) {
+        span_sum += std::abs(static_cast<double>(t) -
+                             static_cast<double>(prev));
+        ++span_n;
+      }
+      prev = t;
+    }
+  }
+  if (span_n > 0) q.gather_span = span_sum / static_cast<double>(span_n);
+
+  // reuse_gap: iteration distance between successive touches of the same
+  // target, over all columns.
+  std::vector<lidx_t> last_seen(static_cast<std::size_t>(num_targets),
+                                kInvalidLocal);
+  double gap_sum = 0.0;
+  std::int64_t gap_n = 0;
+  for (lidx_t e = 0; e < num_elements; ++e)
+    for (int k = 0; k < arity; ++k) {
+      const lidx_t t = targets[static_cast<std::size_t>(e) *
+                                   static_cast<std::size_t>(arity) +
+                               static_cast<std::size_t>(k)];
+      if (t == kInvalidLocal || t >= num_targets) continue;
+      lidx_t& seen = last_seen[static_cast<std::size_t>(t)];
+      if (seen != kInvalidLocal && e != seen) {
+        gap_sum += static_cast<double>(e - seen);
+        ++gap_n;
+      }
+      seen = e;
+    }
+  if (gap_n > 0) q.reuse_gap = gap_sum / static_cast<double>(gap_n);
+  return q;
+}
+
+MeshDef scramble_mesh(const MeshDef& in, std::uint64_t seed,
+                      std::vector<GIdxVec>* perms_out) {
+  Rng rng(seed);
+  std::vector<GIdxVec> perm(static_cast<std::size_t>(in.num_sets()));
+  for (set_id s = 0; s < in.num_sets(); ++s) {
+    const gidx_t n = in.set(s).size;
+    GIdxVec& p = perm[static_cast<std::size_t>(s)];
+    p.resize(static_cast<std::size_t>(n));
+    std::iota(p.begin(), p.end(), gidx_t{0});
+    // Fisher–Yates with the repo's deterministic generator.
+    for (gidx_t i = n - 1; i > 0; --i) {
+      const gidx_t j = static_cast<gidx_t>(rng.next_int(0, i));
+      std::swap(p[static_cast<std::size_t>(i)],
+                p[static_cast<std::size_t>(j)]);
+    }
+  }
+
+  MeshDef out;
+  for (set_id s = 0; s < in.num_sets(); ++s)
+    out.add_set(in.set(s).name, in.set(s).size);
+  for (map_id m = 0; m < in.num_maps(); ++m) {
+    const MapDef& md = in.map(m);
+    const GIdxVec& pf = perm[static_cast<std::size_t>(md.from)];
+    const GIdxVec& pt = perm[static_cast<std::size_t>(md.to)];
+    GIdxVec targets(md.targets.size());
+    const std::size_t ar = static_cast<std::size_t>(md.arity);
+    for (std::size_t f = 0; f < pf.size(); ++f) {
+      const std::size_t nf = static_cast<std::size_t>(pf[f]);
+      for (std::size_t k = 0; k < ar; ++k)
+        targets[nf * ar + k] =
+            pt[static_cast<std::size_t>(md.targets[f * ar + k])];
+    }
+    out.add_map(md.name, md.from, md.to, md.arity, std::move(targets));
+  }
+  for (dat_id d = 0; d < in.num_dats(); ++d) {
+    const DatDef& dd = in.dat(d);
+    const GIdxVec& p = perm[static_cast<std::size_t>(dd.set)];
+    std::vector<double> data(dd.data.size());
+    const std::size_t dim = static_cast<std::size_t>(dd.dim);
+    for (std::size_t e = 0; e < p.size(); ++e) {
+      const std::size_t ne = static_cast<std::size_t>(p[e]);
+      for (std::size_t c = 0; c < dim; ++c)
+        data[ne * dim + c] = dd.data[e * dim + c];
+    }
+    out.add_dat(dd.name, dd.set, dd.dim, std::move(data));
+  }
+  if (in.has_coords()) out.set_coords(in.coords_set(), in.coords_dat());
+  if (perms_out != nullptr) *perms_out = std::move(perm);
+  return out;
+}
+
+}  // namespace op2ca::mesh

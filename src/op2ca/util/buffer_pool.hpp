@@ -9,6 +9,14 @@
 // epoch or two (while capacities converge to the largest message) the
 // steady state performs zero heap allocations.
 //
+// The high-water mark DECAYS: demand is tracked per window of
+// kDecayWindow takes, and when a window closes the mark drops to that
+// window's maximum and pooled buffers an old spike left behind (capacity
+// beyond twice the new mark) are freed. A one-off large chain therefore
+// stops pinning peak memory once steady-state traffic shrinks, while a
+// steady workload — whose window maximum equals its message size — keeps
+// its buffers and its zero-allocation property.
+//
 // Not thread-safe: one pool belongs to one rank thread. Buffers crossing
 // ranks are handed over through the transport's mutex-protected mailbox.
 #pragma once
@@ -29,6 +37,8 @@ public:
   /// allocation when storage is created or grown.
   std::vector<std::byte> take(std::size_t bytes) {
     high_water_ = std::max(high_water_, bytes);
+    window_max_ = std::max(window_max_, bytes);
+    if (++window_takes_ >= kDecayWindow) decay();
     if (free_.empty()) {
       ++allocations_;
       std::vector<std::byte> buf;
@@ -54,22 +64,56 @@ public:
     return buf;
   }
 
-  /// Returns a buffer to the pool. Empty buffers are dropped.
+  /// Returns a buffer to the pool. Empty buffers are dropped, as are
+  /// buffers an old demand spike oversized relative to the decayed
+  /// high-water mark (letting their memory actually return to the heap).
   void release(std::vector<std::byte> buf) {
     if (buf.capacity() == 0) return;
-    if (free_.size() >= kMaxPooled) return;  // let it free
+    if (buf.capacity() > retain_cap()) return;  // spike leftover
+    if (free_.size() >= kMaxPooled) return;     // let it free
     free_.push_back(std::move(buf));
   }
 
   /// Times take() had to allocate or grow storage (steady state: flat).
   std::int64_t allocations() const { return allocations_; }
   std::size_t pooled() const { return free_.size(); }
+  /// Total capacity currently parked in the pool.
+  std::size_t pooled_bytes() const {
+    std::size_t total = 0;
+    for (const auto& b : free_) total += b.capacity();
+    return total;
+  }
+  /// Current (decaying) demand estimate new allocations reserve for.
+  std::size_t high_water() const { return high_water_; }
 
 private:
   static constexpr std::size_t kMaxPooled = 64;
+  /// take() calls per demand window; one window of smaller requests is
+  /// enough for the mark to follow demand down.
+  static constexpr std::size_t kDecayWindow = 64;
+
+  /// Retention threshold: 2x the mark tolerates allocator rounding and
+  /// mild jitter without churning buffers at the boundary.
+  std::size_t retain_cap() const { return 2 * high_water_; }
+
+  /// Window rollover: the mark drops to the closing window's maximum and
+  /// pooled capacities beyond the new retention threshold are freed.
+  void decay() {
+    high_water_ = window_max_;
+    window_max_ = 0;
+    window_takes_ = 0;
+    free_.erase(std::remove_if(free_.begin(), free_.end(),
+                               [this](const std::vector<std::byte>& b) {
+                                 return b.capacity() > retain_cap();
+                               }),
+                free_.end());
+  }
+
   std::vector<std::vector<std::byte>> free_;
   std::int64_t allocations_ = 0;
-  std::size_t high_water_ = 0;  ///< largest request seen.
+  std::size_t high_water_ = 0;   ///< decaying demand estimate.
+  std::size_t window_max_ = 0;   ///< largest request this window.
+  std::size_t window_takes_ = 0;
 };
 
 }  // namespace op2ca

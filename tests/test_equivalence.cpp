@@ -20,13 +20,17 @@ namespace {
 
 enum class Mode { kOp2, kCa, kLazy };
 
-WorldConfig equiv_config(int nranks, Mode mode, bool serial_dispatch) {
+WorldConfig equiv_config(int nranks, Mode mode, bool serial_dispatch,
+                         mesh::ReorderKind reorder = mesh::ReorderKind::None,
+                         int threads = 1) {
   WorldConfig cfg;
   cfg.nranks = nranks;
   cfg.partitioner = partition::Kind::KWay;
   cfg.halo_depth = 2;
   cfg.validate = true;
   cfg.serial_dispatch = serial_dispatch;
+  cfg.reorder.kind = reorder;
+  cfg.threads_per_rank = threads;
   if (mode == Mode::kCa) cfg.chains.enable("synthetic");
   if (mode == Mode::kLazy) cfg.lazy = true;
   return cfg;
@@ -57,12 +61,14 @@ struct SynthResult {
   std::vector<double> sres, sflux, spres;
 };
 
-SynthResult run_synth(int nranks, Mode mode, bool serial_dispatch) {
+SynthResult run_synth(int nranks, Mode mode, bool serial_dispatch,
+                      mesh::ReorderKind reorder = mesh::ReorderKind::None,
+                      int threads = 1) {
   apps::mgcfd::Problem prob = apps::mgcfd::build_problem(1200, 1);
   const mesh::dat_id sres = prob.sres, sflux = prob.sflux,
                      spres = prob.spres;
-  World w(std::move(prob.mg.mesh), equiv_config(nranks, mode,
-                                                serial_dispatch));
+  World w(std::move(prob.mg.mesh),
+          equiv_config(nranks, mode, serial_dispatch, reorder, threads));
   w.run([&](Runtime& rt) {
     const auto h = apps::mgcfd::resolve_handles(rt, prob);
     for (int t = 0; t < 2; ++t) {
@@ -110,6 +116,69 @@ TEST(Equivalence, ModesAgreeToTolerance) {
   testutil::expect_allclose(op2.sres, lazy.sres);
   testutil::expect_allclose(op2.sflux, ca.sflux);
   testutil::expect_allclose(op2.sflux, lazy.sflux);
+}
+
+// -- Locality layer (WorldConfig::reorder). -----------------------------
+//
+// With reorder OFF every path above already proves bitwise identity to
+// the legacy numbering. With it ON, per-element arithmetic is unchanged
+// (direct loops exact — spres is written by the direct perturb loop) but
+// element order inside each layer is permuted, so indirect-INC sums
+// reassociate: cross-configuration comparisons use the usual tolerance.
+
+TEST(Equivalence, ReorderedMatchesBaselineToTolerance) {
+  const SynthResult base = run_synth(5, Mode::kOp2, false);
+  for (const auto kind :
+       {mesh::ReorderKind::RCM, mesh::ReorderKind::SFC}) {
+    const SynthResult re = run_synth(5, Mode::kOp2, false, kind);
+    EXPECT_EQ(base.spres, re.spres);  // direct loop: exact
+    testutil::expect_allclose(base.sres, re.sres);
+    testutil::expect_allclose(base.sflux, re.sflux);
+  }
+}
+
+TEST(Equivalence, ReorderedBatchedMatchesPerElement) {
+  // Same (permuted) iteration order with and without region batching:
+  // bitwise, exactly like the un-reordered equivalence above.
+  expect_bitwise(
+      run_synth(5, Mode::kOp2, false, mesh::ReorderKind::RCM),
+      run_synth(5, Mode::kOp2, true, mesh::ReorderKind::RCM));
+}
+
+TEST(Equivalence, ReorderedModesAgreeSingleThread) {
+  const SynthResult op2 = run_synth(5, Mode::kOp2, false,
+                                    mesh::ReorderKind::RCM);
+  const SynthResult ca = run_synth(5, Mode::kCa, false,
+                                   mesh::ReorderKind::RCM);
+  const SynthResult lazy = run_synth(5, Mode::kLazy, false,
+                                     mesh::ReorderKind::RCM);
+  testutil::expect_allclose(op2.sres, ca.sres);
+  testutil::expect_allclose(op2.sres, lazy.sres);
+  testutil::expect_allclose(op2.sflux, ca.sflux);
+  testutil::expect_allclose(op2.sflux, lazy.sflux);
+}
+
+TEST(Equivalence, ReorderedModesAgreeFourThreads) {
+  const SynthResult base = run_synth(4, Mode::kOp2, false);
+  for (const Mode mode : {Mode::kOp2, Mode::kCa, Mode::kLazy}) {
+    const SynthResult re =
+        run_synth(4, mode, false, mesh::ReorderKind::RCM, 4);
+    EXPECT_EQ(base.spres, re.spres);  // direct loop: exact
+    testutil::expect_allclose(base.sres, re.sres);
+    testutil::expect_allclose(base.sflux, re.sflux);
+  }
+}
+
+TEST(Equivalence, ReorderedWidthIndependentSweeps) {
+  // Blocked colour sweeps are a pure function of the colouring and the
+  // block structure — chunk boundaries move with pool width, but blocks
+  // never straddle threads, so any width > 1 is bitwise-identical.
+  expect_bitwise(
+      run_synth(4, Mode::kOp2, false, mesh::ReorderKind::RCM, 2),
+      run_synth(4, Mode::kOp2, false, mesh::ReorderKind::RCM, 4));
+  expect_bitwise(
+      run_synth(4, Mode::kCa, false, mesh::ReorderKind::SFC, 2),
+      run_synth(4, Mode::kCa, false, mesh::ReorderKind::SFC, 4));
 }
 
 // -- Hydra chain (vflux preceded by its gradl producer). ----------------

@@ -3,6 +3,7 @@
 
 #include <sstream>
 
+#include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/error.hpp"
 #include "op2ca/util/options.hpp"
 #include "op2ca/util/rng.hpp"
@@ -148,6 +149,54 @@ TEST(Error, MessageCarriesLocation) {
     EXPECT_NE(std::string(e.what()).find("test_util.cpp"),
               std::string::npos);
   }
+}
+
+TEST(BufferPool, SteadyStateStaysAllocationFree) {
+  BufferPool pool;
+  for (int i = 0; i < 4; ++i) pool.release(pool.take(1024));
+  const std::int64_t allocs = pool.allocations();
+  // Many decay windows of identical demand: the mark tracks the size
+  // exactly, so no buffer is ever dropped or re-grown.
+  for (int i = 0; i < 500; ++i) pool.release(pool.take(1024));
+  EXPECT_EQ(pool.allocations(), allocs);
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(BufferPool, HighWaterDecaysAfterSpike) {
+  BufferPool pool;
+  for (int i = 0; i < 10; ++i) pool.release(pool.take(1 << 10));
+  // One-off large chain.
+  pool.release(pool.take(8 << 20));
+  EXPECT_GE(pool.high_water(), std::size_t{8} << 20);
+  EXPECT_GE(pool.pooled_bytes(), std::size_t{8} << 20);
+  // Steady small traffic: after a window rollover the mark follows
+  // demand down and the spike's storage leaves the pool.
+  for (int i = 0; i < 200; ++i) pool.release(pool.take(1 << 10));
+  EXPECT_LT(pool.high_water(), std::size_t{8} << 20);
+  EXPECT_LT(pool.pooled_bytes(), std::size_t{1} << 20);
+}
+
+TEST(BufferPool, ReleaseDropsSpikeLeftoverAfterDecay) {
+  BufferPool pool;
+  // A large buffer still in flight while demand decays (e.g. a chain's
+  // recv slot) must not re-enter the pool on release.
+  std::vector<std::byte> big = pool.take(4 << 20);
+  for (int i = 0; i < 200; ++i) pool.release(pool.take(512));
+  const std::size_t before = pool.pooled_bytes();
+  pool.release(std::move(big));
+  EXPECT_EQ(pool.pooled_bytes(), before);
+}
+
+TEST(BufferPool, MixedSizesKeepLargeBuffersWithinWindow) {
+  BufferPool pool;
+  // Alternating small/large demand inside every window: the window max
+  // stays large, so the large buffer survives every decay.
+  for (int i = 0; i < 300; ++i) {
+    pool.release(pool.take(256));
+    pool.release(pool.take(1 << 16));
+  }
+  EXPECT_GE(pool.high_water(), std::size_t{1} << 16);
+  EXPECT_GE(pool.pooled_bytes(), std::size_t{1} << 16);
 }
 
 }  // namespace
