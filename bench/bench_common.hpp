@@ -12,6 +12,12 @@
 //   --csv          emit CSV instead of aligned text
 //   --calibrate=0  skip kernel calibration (use default costs)
 //   --threads=N    model N shared-memory workers per rank (Machine::threads_per_rank)
+//   --layout=K     dat storage layout {aos,soa,aosoa}; non-AoS enters the
+//                  model as Machine::vector_width (see --vector-width)
+//   --aosoa-block=N  AoSoA inner block (elements; power of two, default 8)
+//   --vector-width=X override the SIMD speedup factor applied for a
+//                  non-AoS layout (default: kDefaultLayoutSpeedup, the
+//                  measured direct-loop A/B ratio from BENCH_simd.json)
 #pragma once
 
 #include <iostream>
@@ -33,11 +39,22 @@
 
 namespace op2ca::bench {
 
+/// SIMD speedup assumed for a non-AoS layout when --vector-width is not
+/// given: the measured direct-loop SoA/AoS ratio from BENCH_simd.json
+/// (RCM hex3d, 4 threads) on the reference host. Calibrated kernel costs
+/// are taken on AoS storage, so this enters the model's compute terms as
+/// a factor > 1; communication terms are unaffected (same bytes, different
+/// order on the wire).
+inline constexpr double kDefaultLayoutSpeedup = 1.6;
+
 struct BenchConfig {
   std::int64_t scale = 16;
   bool csv = false;
   bool calibrate = true;
   int threads = 1;
+  mesh::LayoutKind layout = mesh::LayoutKind::AoS;
+  int aosoa_block = 8;
+  double vector_width = 0;  ///< 0 = derive from `layout`.
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -45,21 +62,40 @@ struct BenchConfig {
     cfg.csv = opt.get_bool("csv", false);
     cfg.calibrate = opt.get_bool("calibrate", true);
     cfg.threads = static_cast<int>(opt.get_int("threads", 1));
+    cfg.layout = mesh::layout_by_name(opt.get_string("layout", "aos"));
+    cfg.aosoa_block = static_cast<int>(opt.get_int("aosoa-block", 8));
+    cfg.vector_width = opt.get_double("vector-width", 0);
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
     OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
+    OP2CA_REQUIRE(cfg.vector_width >= 0, "--vector-width must be >= 0");
     return cfg;
   }
 
-  /// Applies the intra-rank threading knob to a machine preset so the
-  /// model's compute terms scale by Machine::compute_speedup().
+  /// Applies the intra-rank threading and layout knobs to a machine
+  /// preset: compute terms scale by Machine::compute_speedup(), and a
+  /// non-AoS layout divides them by Machine::vector_width.
   model::Machine apply_threads(model::Machine mach) const {
     mach.threads_per_rank = threads;
+    if (vector_width > 0)
+      mach.vector_width = vector_width;
+    else if (layout != mesh::LayoutKind::AoS)
+      mach.vector_width = kDefaultLayoutSpeedup;
     return mach;
+  }
+
+  /// Layout knobs as a WorldConfig ingredient (benches that execute
+  /// loops rather than evaluate the model).
+  mesh::LayoutConfig layout_config() const {
+    mesh::LayoutConfig lc;
+    lc.kind = layout;
+    lc.aosoa_block = aosoa_block;
+    return lc;
   }
 };
 
 inline std::set<std::string> standard_option_names() {
-  return {"scale", "csv", "calibrate", "threads"};
+  return {"scale",       "csv",         "calibrate", "threads",
+          "layout",      "aosoa-block", "vector-width"};
 }
 
 /// Paper mesh sizes by label.

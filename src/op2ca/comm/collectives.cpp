@@ -20,7 +20,7 @@ std::span<const std::byte> as_bytes_of(const T& v) {
 }
 
 template <typename T>
-T from_bytes(const std::vector<std::byte>& buf) {
+T from_bytes(const ByteBuf& buf) {
   OP2CA_ASSERT(buf.size() == sizeof(T), "collective payload size mismatch");
   T v;
   std::memcpy(&v, buf.data(), sizeof(T));
@@ -36,7 +36,7 @@ T allreduce_impl(Comm& comm, T value, Op op) {
     T acc = value;
     // Fixed rank order keeps floating-point reductions deterministic.
     for (rank_t src = 1; src < nranks; ++src) {
-      std::vector<std::byte> buf;
+      ByteBuf buf;
       Request r = comm.irecv(src, kTagReduceUp, &buf);
       comm.wait(r);
       acc = op(acc, from_bytes<T>(buf));
@@ -49,7 +49,7 @@ T allreduce_impl(Comm& comm, T value, Op op) {
   }
   Request s = comm.isend(0, kTagReduceUp, as_bytes_of(value));
   comm.wait(s);
-  std::vector<std::byte> buf;
+  ByteBuf buf;
   Request r = comm.irecv(0, kTagBcastDown, &buf);
   comm.wait(r);
   return from_bytes<T>(buf);
@@ -63,7 +63,7 @@ std::vector<T> allgather_impl(Comm& comm, T value) {
   if (nranks == 1) return all;
   if (comm.rank() == 0) {
     for (rank_t src = 1; src < nranks; ++src) {
-      std::vector<std::byte> buf;
+      ByteBuf buf;
       Request r = comm.irecv(src, kTagGather, &buf);
       comm.wait(r);
       all[static_cast<std::size_t>(src)] = from_bytes<T>(buf);
@@ -79,7 +79,7 @@ std::vector<T> allgather_impl(Comm& comm, T value) {
   }
   Request s = comm.isend(0, kTagGather, as_bytes_of(value));
   comm.wait(s);
-  std::vector<std::byte> buf;
+  ByteBuf buf;
   Request r = comm.irecv(0, kTagBcastDown, &buf);
   comm.wait(r);
   OP2CA_ASSERT(buf.size() == all.size() * sizeof(T),

@@ -29,7 +29,7 @@ Request Comm::isend(rank_t dst, tag_t tag,
   return post_send(dst, tag, std::move(msg));
 }
 
-Request Comm::isend(rank_t dst, tag_t tag, std::vector<std::byte> payload) {
+Request Comm::isend(rank_t dst, tag_t tag, ByteBuf payload) {
   Message msg;
   msg.payload = std::move(payload);
   stats_.sends_moved += 1;
@@ -61,7 +61,7 @@ Request Comm::post_send(rank_t dst, tag_t tag, Message msg) {
   return req;
 }
 
-Request Comm::irecv(rank_t src, tag_t tag, std::vector<std::byte>* out) {
+Request Comm::irecv(rank_t src, tag_t tag, ByteBuf* out) {
   OP2CA_REQUIRE(out != nullptr, "irecv requires an output buffer");
   OP2CA_REQUIRE(src != rank_, "irecv from self is not supported");
   Request req;

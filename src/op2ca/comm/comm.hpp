@@ -54,7 +54,7 @@ private:
   Kind kind_ = Kind::None;
   rank_t peer = -1;
   tag_t tag = 0;
-  std::vector<std::byte>* recv_buffer = nullptr;  // Recv only.
+  ByteBuf* recv_buffer = nullptr;  // Recv only.
   std::size_t sent_bytes = 0;                     // Send only.
 };
 
@@ -75,9 +75,9 @@ public:
   /// destination mailbox — no payload copy. The caller's vector is left
   /// empty; staging buffers come back through a BufferPool on the
   /// receiving side (see util/buffer_pool.hpp).
-  Request isend(rank_t dst, tag_t tag, std::vector<std::byte> payload);
+  Request isend(rank_t dst, tag_t tag, ByteBuf payload);
   /// Begins a non-blocking receive into `*out` (resized on completion).
-  Request irecv(rank_t src, tag_t tag, std::vector<std::byte>* out);
+  Request irecv(rank_t src, tag_t tag, ByteBuf* out);
 
   void wait(Request& req);
   void wait_all(std::span<Request> reqs);

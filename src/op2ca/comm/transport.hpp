@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "op2ca/util/aligned.hpp"
 #include "op2ca/util/types.hpp"
 
 namespace op2ca::sim {
@@ -35,7 +36,7 @@ struct Message {
   rank_t src = -1;
   rank_t dst = -1;
   tag_t tag = 0;
-  std::vector<std::byte> payload;
+  ByteBuf payload;
 };
 
 /// Shared mailbox fabric for `nranks` simulated processes.

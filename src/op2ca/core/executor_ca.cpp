@@ -80,6 +80,10 @@ ChainExchange& chain_exchange(RankState& st, ChainPlan& cp,
     spec.dim = rd.dim;
     spec.depth = s.depth;
     spec.data = rd.data.data();
+    // st.dats never reallocates after construction, so the descriptor
+    // pointer stays valid for the exchange's lifetime (unlike `data`,
+    // which is rebound every epoch).
+    spec.layout = &rd.layout;
     ex.specs.push_back(spec);
     ex.dats.push_back(s.dat);
   }
@@ -129,6 +133,7 @@ void execute_chain_ca(RankState& st, const std::string& name,
       mask |= std::uint64_t{1} << i;
 
   ChainExchange* ex = nullptr;
+  std::int64_t halo_elems = 0;
   if (mask != 0) {
     ex = &chain_exchange(st, cp, mask, &plan_builds);
     // Rebind data pointers: dat storage can be re-gathered between runs
@@ -140,8 +145,10 @@ void execute_chain_ca(RankState& st, const std::string& name,
     for (std::size_t s = 0; s < ex->plan.sides.size(); ++s) {
       const halo::GroupedPlan::Side& side = ex->plan.sides[s];
       if (side.send_bytes > 0) {
-        std::vector<std::byte> buf = st.staging.take(side.send_bytes);
+        ByteBuf buf = st.staging.take(side.send_bytes);
         halo::pack_grouped(side, ex->specs, buf.data(), st.pool.get());
+        for (const LIdxVec& g : side.gather)
+          halo_elems += static_cast<std::int64_t>(g.size());
         ex->requests.push_back(
             st.comm.isend(side.q, kChainTag, std::move(buf)));
       }
@@ -222,7 +229,13 @@ void execute_chain_ca(RankState& st, const std::string& name,
     const mesh::OrderingQuality& oq = loop_quality(st, rec);
     metrics.gather_span = std::max(metrics.gather_span, oq.gather_span);
     metrics.reuse_gap = std::max(metrics.reuse_gap, oq.reuse_gap);
+    for (const Arg& a : rec.args)
+      if (a.kind != Arg::Kind::Gbl)
+        metrics.layout_code =
+            std::max(metrics.layout_code,
+                     static_cast<int>(st.rank_dat(a.dat).layout.kind));
   }
+  metrics.halo_elems = halo_elems;
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;

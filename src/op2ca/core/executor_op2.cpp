@@ -94,12 +94,15 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   std::vector<sim::Request>& requests = st.loop_requests;
   requests.clear();
 
+  std::int64_t halo_elems = 0;
   for (mesh::dat_id d : exch) {
     RankDat& rd = st.rank_dat(d);
     LoopExchange& ex = loop_exchange(st, d, &plan_builds);
     for (const LoopExchange::Segment& seg : ex.sends) {
-      std::vector<std::byte> buf = st.staging.take(seg.bytes);
-      halo::gather_rows(rd.data.data(), rd.dim, *seg.idx, buf.data());
+      ByteBuf buf = st.staging.take(seg.bytes);
+      halo::gather_region(rd.data.data(), &rd.layout, rd.dim, *seg.idx,
+                          buf.data());
+      halo_elems += static_cast<std::int64_t>(seg.idx->size());
       requests.push_back(st.comm.isend(seg.q, seg.tag, std::move(buf)));
     }
     for (std::size_t i = 0; i < ex.recvs.size(); ++i)
@@ -123,11 +126,11 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
     LoopExchange& ex = *st.loop_exchanges[static_cast<std::size_t>(d)];
     for (std::size_t i = 0; i < ex.recvs.size(); ++i) {
       const LoopExchange::Segment& seg = ex.recvs[i];
-      std::vector<std::byte>& buf = ex.recv_bufs[i];
+      ByteBuf& buf = ex.recv_bufs[i];
       OP2CA_ASSERT(buf.size() == seg.bytes,
                    "level-1 halo payload size mismatch");
-      const std::size_t used =
-          halo::unpack_rows(rd.data.data(), rd.dim, *seg.idx, buf, 0);
+      const std::size_t used = halo::unpack_region(
+          rd.data.data(), &rd.layout, rd.dim, *seg.idx, buf, 0);
       OP2CA_ASSERT(used == buf.size(), "level-1 halo unpack short");
       st.staging.release(std::move(buf));
     }
@@ -179,6 +182,12 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec) {
   const mesh::OrderingQuality& oq = loop_quality(st, rec);
   metrics.gather_span = oq.gather_span;
   metrics.reuse_gap = oq.reuse_gap;
+  metrics.halo_elems = halo_elems;
+  for (const Arg& a : rec.args)
+    if (a.kind != Arg::Kind::Gbl)
+      metrics.layout_code =
+          std::max(metrics.layout_code,
+                   static_cast<int>(st.rank_dat(a.dat).layout.kind));
 
   LoopMetrics& agg = st.loop_metrics[rec.name];
   const std::int64_t prev_calls = agg.calls;

@@ -71,6 +71,8 @@ void LoopMetrics::merge_from(const LoopMetrics& other) {
   busy_seconds += other.busy_seconds;
   gather_span = std::max(gather_span, other.gather_span);
   reuse_gap = std::max(reuse_gap, other.reuse_gap);
+  layout_code = std::max(layout_code, other.layout_code);
+  halo_elems += other.halo_elems;
 }
 
 namespace detail {
@@ -144,6 +146,10 @@ const halo::SetLayout& Runtime::layout(Set s) const {
   return state_->layout(s.id);
 }
 
+const mesh::DatLayout& Runtime::dat_layout(Dat d) const {
+  return state_->rank_dat(d.id).layout;
+}
+
 sim::Comm& Runtime::comm() {
   detail::flush_lazy(*state_);  // collectives are sync points
   return state_->comm;
@@ -191,7 +197,7 @@ detail::LoopRecord Runtime::make_record(const std::string& name, Set s,
                           "' does not live on the iteration set");
         detail::RankDat& rd = state_->rank_dat(a.dat);
         ra.base = rd.data.data();
-        ra.dim = rd.dim;
+        ra.bind_layout(rd.layout);
         as.dat = a.dat;
         as.mode = a.mode;
         as.indirect = false;
@@ -215,7 +221,7 @@ detail::LoopRecord Runtime::make_record(const std::string& name, Set s,
         const halo::LocalMap& lm =
             state_->rank_plan().maps[static_cast<std::size_t>(a.map)];
         ra.base = rd.data.data();
-        ra.dim = rd.dim;
+        ra.bind_layout(rd.layout);
         ra.map_targets = lm.targets.data();
         ra.arity = lm.arity;
         ra.idx = a.map_idx;

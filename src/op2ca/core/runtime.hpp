@@ -26,6 +26,7 @@
 #include "op2ca/core/chain_config.hpp"
 #include "op2ca/halo/halo_plan.hpp"
 #include "op2ca/halo/reorder.hpp"
+#include "op2ca/mesh/layout.hpp"
 #include "op2ca/mesh/mesh_def.hpp"
 #include "op2ca/mesh/reorder.hpp"
 #include "op2ca/partition/partition.hpp"
@@ -105,6 +106,12 @@ struct LoopMetrics {
   // reorder) should pull both down — asserted by the locality bench.
   double gather_span = 0;
   double reuse_gap = 0;
+  // SIMD data plane: the widest layout any dat arg of the loop is stored
+  // in (0 = AoS, 1 = SoA, 2 = AoSoA; max over args and ranks) and the
+  // total halo elements exchanged, so bytes / halo_elems gives the wire
+  // bytes moved per exchanged element for EXPERIMENTS.md correlations.
+  int layout_code = 0;
+  std::int64_t halo_elems = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -114,7 +121,25 @@ class World;
 namespace detail {
 struct RankState;
 
-/// Per-argument iteration-time resolution data.
+/// Strided view of one dat element: component c lives at p[c * stride].
+/// Under AoS (and for every gbl arg) stride == 1, so the implicit
+/// conversion hands legacy raw-pointer kernels the exact pointer they
+/// always received; stride-aware kernels index through operator[] and
+/// work under every layout.
+struct ElemRef {
+  double* p = nullptr;
+  lidx_t stride = 1;
+
+  double& operator[](int c) const {
+    return p[static_cast<std::size_t>(c) * static_cast<std::size_t>(stride)];
+  }
+  /// Legacy escape hatch: only layout-correct when stride == 1.
+  operator double*() const { return p; }
+};
+
+/// Per-argument iteration-time resolution data. The layout fields mirror
+/// mesh::DatLayout's shift/mask addressing; bind_layout keeps them
+/// coherent (the defaults describe an AoS dim-1 dat).
 struct ResolvedArg {
   double* base = nullptr;
   const lidx_t* map_targets = nullptr;  ///< null for direct / gbl.
@@ -122,6 +147,22 @@ struct ResolvedArg {
   int idx = 0;
   int dim = 1;
   bool is_gbl = false;
+  // Storage layout of the dat behind `base` (see mesh::DatLayout):
+  // element i starts at (i >> bshift) * brow + (i & bmask), component c
+  // adds c * cstride. AoS keeps bshift = bmask = 0 and brow = dim, so
+  // the address math collapses to the legacy i * dim + c.
+  int bshift = 0;
+  lidx_t bmask = 0;
+  lidx_t cstride = 1;
+  std::size_t brow = 1;
+
+  void bind_layout(const mesh::DatLayout& lay) {
+    dim = lay.dim;
+    bshift = lay.bshift;
+    bmask = lay.bmask;
+    cstride = lay.cstride;
+    brow = lay.brow;
+  }
 };
 
 /// A fully-resolved loop ready to execute (or be captured by a chain).
@@ -142,20 +183,22 @@ struct LoopRecord {
 void raise_out_of_region(const char* loop_name);
 
 /// Resolves one argument at iteration `i`. Inline so the batch loops in
-/// invoke_kernel_range/_list keep it out of the per-element path.
-inline double* resolve_arg(const ResolvedArg& a, lidx_t i, bool validate,
+/// invoke_kernel_range/_list keep it out of the per-element path. The
+/// shift/mask element addressing is division-free for every layout; for
+/// AoS it constant-folds to the legacy base + i * dim.
+inline ElemRef resolve_arg(const ResolvedArg& a, lidx_t i, bool validate,
                            const char* loop_name = "") {
-  if (a.is_gbl) return a.base;
-  if (a.map_targets == nullptr)
-    return a.base + static_cast<std::size_t>(i) *
-                        static_cast<std::size_t>(a.dim);
-  const lidx_t t =
-      a.map_targets[static_cast<std::size_t>(i) *
-                        static_cast<std::size_t>(a.arity) +
-                    static_cast<std::size_t>(a.idx)];
-  if (validate && t == kInvalidLocal) raise_out_of_region(loop_name);
-  return a.base + static_cast<std::size_t>(t) *
-                      static_cast<std::size_t>(a.dim);
+  if (a.is_gbl) return {a.base, 1};
+  lidx_t t = i;
+  if (a.map_targets != nullptr) {
+    t = a.map_targets[static_cast<std::size_t>(i) *
+                          static_cast<std::size_t>(a.arity) +
+                      static_cast<std::size_t>(a.idx)];
+    if (validate && t == kInvalidLocal) raise_out_of_region(loop_name);
+  }
+  return {a.base + static_cast<std::size_t>(t >> a.bshift) * a.brow +
+              static_cast<std::size_t>(t & a.bmask),
+          a.cstride};
 }
 
 /// Batched dispatch over a contiguous iteration range: argument state is
@@ -198,10 +241,14 @@ public:
   Set set(mesh::set_id id) const { return Set{id}; }
   Dat dat(mesh::dat_id id) const { return Dat{id}; }
 
-  /// Local (renumbered) data array of a dat on this rank; layout per the
-  /// halo plan. Intended for initialization and inspection in tests.
+  /// Local (renumbered) data array of a dat on this rank; element order
+  /// per the halo plan, storage order per dat_layout(d). Intended for
+  /// initialization and inspection in tests.
   double* dat_data(Dat d);
   const halo::SetLayout& layout(Set s) const;
+  /// Storage descriptor of a dat's rank-local array (AoS unless the
+  /// WorldConfig::layout selects otherwise).
+  const mesh::DatLayout& dat_layout(Dat d) const;
 
   /// Executes (or captures, inside a chain) one parallel loop.
   template <typename Kernel, typename... Args>
@@ -292,6 +339,17 @@ struct WorldConfig {
   /// reduce over elements (indirect INC, global INC) reassociate their
   /// sums, like any other iteration-order change.
   mesh::ReorderConfig reorder{};
+  /// SIMD data plane: per-dat storage layout of the rank-local arrays
+  /// (mesh/layout). The default — pure AoS — is bitwise-identical to the
+  /// legacy runtime for every executor, thread width and reorder
+  /// setting. SoA / AoSoA change only how elements are stored inside a
+  /// rank: the global mesh arrays, fetch_dat / reset_dat and the VTK
+  /// output keep the classic row layout (transposed at the boundary),
+  /// and per-element arithmetic is unchanged, so direct loops stay exact
+  /// under any layout. Composes with `reorder`: renumbering happens
+  /// before the layout transpose, so blocked runs land in consecutive
+  /// lanes of the same AoSoA block.
+  mesh::LayoutConfig layout{};
   ChainConfig chains{};
   /// Lazy evaluation (the paper's future-work automation): par_loops are
   /// queued instead of executed, and flushed as an automatically-formed

@@ -25,7 +25,13 @@ inline constexpr sim::tag_t kLoopTagBase = 1024;  // + dat*2 + class.
 /// One dat's per-rank storage.
 struct RankDat {
   int dim = 0;
-  std::vector<double> data;  ///< layout order (owned | exec | nonexec).
+  /// Storage descriptor: element order is always the halo-plan order
+  /// (owned | exec | nonexec); `layout` says how those elements are
+  /// arranged inside `data` (AoS rows by default, SoA planes / AoSoA
+  /// blocks when WorldConfig::layout selects them).
+  mesh::DatLayout layout;
+  /// 64-byte-aligned backing store, layout.alloc_doubles() long.
+  util::AlignedDVec data;
   /// Halo layers currently in sync with the owners; 0 = level-1 halo
   /// stale. This generalizes the paper's dirty bit to multi-layer halos.
   int fresh_depth = 0;
@@ -45,7 +51,7 @@ struct LoopExchange {
   };
   std::vector<Segment> sends;
   std::vector<Segment> recvs;
-  std::vector<std::vector<std::byte>> recv_bufs;  ///< slots, recvs-parallel.
+  std::vector<ByteBuf> recv_bufs;  ///< slots, recvs-parallel.
 };
 
 /// One persistent grouped exchange of a chain for a fixed set of stale
@@ -56,7 +62,7 @@ struct ChainExchange {
   std::vector<mesh::dat_id> dats;          ///< specs-parallel.
   std::vector<halo::DatSyncSpec> specs;
   halo::GroupedPlan plan;
-  std::vector<std::vector<std::byte>> recv_bufs;  ///< sides-parallel.
+  std::vector<ByteBuf> recv_bufs;  ///< sides-parallel.
   std::vector<sim::Request> requests;             ///< reused capacity.
 };
 

@@ -94,8 +94,8 @@ std::vector<double> World::fetch_dat(mesh::dat_id d) const {
   for (const auto& state : ranks_) {
     const halo::SetLayout& lay =
         plan_.layout(state->rank, dd.set);
-    halo::scatter_owned(state->dats[static_cast<std::size_t>(d)].data,
-                        dd.dim, lay, &out);
+    const detail::RankDat& rd = state->dats[static_cast<std::size_t>(d)];
+    halo::scatter_owned(rd.data.data(), lay, rd.layout, &out);
   }
   return out;
 }
@@ -131,7 +131,7 @@ void World::write_metrics_csv(std::ostream& os) const {
                 "wall_s", "pack_s", "core_s", "wait_s", "unpack_s",
                 "halo_s", "regions", "plan_builds", "staging_allocs",
                 "chunks", "colours", "busy_s", "gather_span",
-                "reuse_gap"});
+                "reuse_gap", "layout", "bytes_per_elem"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -142,7 +142,13 @@ void World::write_metrics_csv(std::ostream& os) const {
                m.unpack_seconds, m.halo_seconds, m.dispatch_regions,
                m.plan_builds, m.staging_allocs, m.chunks,
                static_cast<std::int64_t>(m.max_colours), m.busy_seconds,
-               m.gather_span, m.reuse_gap});
+               m.gather_span, m.reuse_gap,
+               std::string(mesh::layout_name(
+                   static_cast<mesh::LayoutKind>(m.layout_code))),
+               m.halo_elems > 0
+                   ? static_cast<double>(m.bytes) /
+                         static_cast<double>(m.halo_elems)
+                   : 0.0});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

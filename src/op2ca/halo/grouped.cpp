@@ -63,6 +63,44 @@ void scatter_range(double* data, int dim, const lidx_t* idx, std::size_t n,
   }
 }
 
+/// True when this spec's message region uses the legacy element-major
+/// wire shape (null layout or AoS storage).
+bool region_is_rows(const DatSyncSpec& spec) {
+  return spec.layout == nullptr || spec.layout->is_aos();
+}
+
+/// Component-major gather of list positions [b, e) out of a region of
+/// `n` total rows: component c of list slot j lands at region double
+/// c * n + j. Under SoA the inner j-loop reads one contiguous component
+/// plane and writes a unit-stride run — a pure streaming copy whenever
+/// the export rows are consecutive (which the locality layer arranges).
+void gather_cm(const double* data, const mesh::DatLayout& lay,
+               const lidx_t* idx, std::size_t b, std::size_t e,
+               std::size_t n, std::byte* region) {
+  double* out = reinterpret_cast<double*>(region);
+  for (int c = 0; c < lay.dim; ++c) {
+    double* dst = out + static_cast<std::size_t>(c) * n;
+    const std::size_t coff = static_cast<std::size_t>(c) *
+                             static_cast<std::size_t>(lay.cstride);
+    for (std::size_t j = b; j < e; ++j)
+      dst[j] = data[lay.elem_offset(idx[j]) + coff];
+  }
+}
+
+/// Scatter counterpart of gather_cm.
+void scatter_cm(double* data, const mesh::DatLayout& lay, const lidx_t* idx,
+                std::size_t b, std::size_t e, std::size_t n,
+                const std::byte* region) {
+  const double* in = reinterpret_cast<const double*>(region);
+  for (int c = 0; c < lay.dim; ++c) {
+    const double* src = in + static_cast<std::size_t>(c) * n;
+    const std::size_t coff = static_cast<std::size_t>(c) *
+                             static_cast<std::size_t>(lay.cstride);
+    for (std::size_t j = b; j < e; ++j)
+      data[lay.elem_offset(idx[j]) + coff] = src[j];
+  }
+}
+
 }  // namespace
 
 void gather_rows(const double* data, int dim, const LIdxVec& idx,
@@ -77,7 +115,7 @@ void gather_rows(const double* data, int dim, const LIdxVec& idx,
 }
 
 void pack_rows(const double* data, int dim, const LIdxVec& idx,
-               std::vector<std::byte>* out) {
+               ByteBuf* out) {
   const std::size_t row_bytes = static_cast<std::size_t>(dim) * sizeof(double);
   const std::size_t base = out->size();
   out->resize(base + idx.size() * row_bytes);
@@ -99,6 +137,29 @@ std::size_t unpack_rows(double* data, int dim, const LIdxVec& idx,
   return offset + idx.size() * row_bytes;
 }
 
+void gather_region(const double* data, const mesh::DatLayout* lay, int dim,
+                   const LIdxVec& idx, std::byte* out) {
+  if (lay == nullptr || lay->is_aos()) {
+    gather_rows(data, dim, idx, out);
+    return;
+  }
+  gather_cm(data, *lay, idx.data(), 0, idx.size(), idx.size(), out);
+}
+
+std::size_t unpack_region(double* data, const mesh::DatLayout* lay, int dim,
+                          const LIdxVec& idx, std::span<const std::byte> in,
+                          std::size_t offset) {
+  if (lay == nullptr || lay->is_aos())
+    return unpack_rows(data, dim, idx, in, offset);
+  const std::size_t bytes =
+      idx.size() * static_cast<std::size_t>(dim) * sizeof(double);
+  OP2CA_REQUIRE(offset + bytes <= in.size(),
+                "unpack_region: payload too short");
+  scatter_cm(data, *lay, idx.data(), 0, idx.size(), idx.size(),
+             in.data() + offset);
+  return offset + bytes;
+}
+
 std::map<rank_t, std::int64_t> grouped_message_bytes(
     const RankPlan& rp, std::span<const DatSyncSpec> specs) {
   std::map<rank_t, std::int64_t> bytes;
@@ -115,13 +176,28 @@ std::map<rank_t, std::int64_t> grouped_message_bytes(
   return bytes;
 }
 
-std::vector<std::byte> pack_grouped(const RankPlan& rp, rank_t q,
+ByteBuf pack_grouped(const RankPlan& rp, rank_t q,
                                     std::span<const DatSyncSpec> specs) {
-  std::vector<std::byte> out;
-  for_each_segment(rp, q, specs, /*exports=*/true,
-                   [&](const DatSyncSpec& spec, const LIdxVec& idx) {
-                     pack_rows(spec.data, spec.dim, idx, &out);
-                   });
+  // A dat's segments are consecutive in the canonical walk, so gathering
+  // the concatenated list per spec produces the same region placement as
+  // the per-segment walk — and for non-AoS dats it is the concatenated
+  // region the component-major wire shape is defined over (matching
+  // GroupedPlan, whose gather lists are flattened the same way).
+  ByteBuf out;
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    LIdxVec rows;
+    for_each_segment(rp, q, specs.subspan(s, 1), /*exports=*/true,
+                     [&](const DatSyncSpec&, const LIdxVec& idx) {
+                       rows.insert(rows.end(), idx.begin(), idx.end());
+                     });
+    if (rows.empty()) continue;
+    const std::size_t base = out.size();
+    out.resize(base + rows.size() *
+                          static_cast<std::size_t>(specs[s].dim) *
+                          sizeof(double));
+    gather_region(specs[s].data, specs[s].layout, specs[s].dim, rows,
+                  out.data() + base);
+  }
   return out;
 }
 
@@ -129,11 +205,16 @@ void unpack_grouped(const RankPlan& rp, rank_t q,
                     std::span<const DatSyncSpec> specs,
                     std::span<const std::byte> payload) {
   std::size_t offset = 0;
-  for_each_segment(rp, q, specs, /*exports=*/false,
-                   [&](const DatSyncSpec& spec, const LIdxVec& idx) {
-                     offset = unpack_rows(spec.data, spec.dim, idx, payload,
-                                          offset);
-                   });
+  for (std::size_t s = 0; s < specs.size(); ++s) {
+    LIdxVec rows;
+    for_each_segment(rp, q, specs.subspan(s, 1), /*exports=*/false,
+                     [&](const DatSyncSpec&, const LIdxVec& idx) {
+                       rows.insert(rows.end(), idx.begin(), idx.end());
+                     });
+    if (rows.empty()) continue;
+    offset = unpack_region(specs[s].data, specs[s].layout, specs[s].dim,
+                           rows, payload, offset);
+  }
   OP2CA_REQUIRE(offset == payload.size(),
                 "unpack_grouped: payload size mismatch");
 }
@@ -173,15 +254,17 @@ void pack_grouped(const GroupedPlan::Side& side,
                   util::ThreadPool* pool) {
   if (pool == nullptr || pool->threads() <= 1) {
     for (std::size_t s = 0; s < specs.size(); ++s) {
-      gather_rows(specs[s].data, specs[s].dim, side.gather[s], out);
+      gather_region(specs[s].data, specs[s].layout, specs[s].dim,
+                    side.gather[s], out);
       out += side.gather[s].size() *
              static_cast<std::size_t>(specs[s].dim) * sizeof(double);
     }
     return;
   }
-  // Thread t gathers chunk t of every spec's list into its byte range:
-  // chunks tile the output exactly, so the buffer matches the serial
-  // pack byte-for-byte.
+  // Thread t gathers chunk t of every spec's list into its slots: chunks
+  // tile the output exactly (row-major byte ranges for AoS regions,
+  // column slices of every component stream for component-major ones),
+  // so the buffer matches the serial pack byte-for-byte at any width.
   std::vector<std::size_t> base(specs.size());
   std::size_t off = 0;
   for (std::size_t s = 0; s < specs.size(); ++s) {
@@ -198,8 +281,12 @@ void pack_grouped(const GroupedPlan::Side& side,
       const std::size_t b = n * static_cast<std::size_t>(t) / nt;
       const std::size_t e = n * (static_cast<std::size_t>(t) + 1) / nt;
       if (b == e) continue;
-      gather_range(specs[s].data, specs[s].dim, side.gather[s].data() + b,
-                   e - b, out + base[s] + b * row);
+      if (region_is_rows(specs[s]))
+        gather_range(specs[s].data, specs[s].dim, side.gather[s].data() + b,
+                     e - b, out + base[s] + b * row);
+      else
+        gather_cm(specs[s].data, *specs[s].layout, side.gather[s].data(),
+                  b, e, n, out + base[s]);
     }
   });
 }
@@ -213,8 +300,13 @@ void unpack_grouped(const GroupedPlan::Side& side,
   if (pool == nullptr || pool->threads() <= 1) {
     const std::byte* src = payload.data();
     for (std::size_t s = 0; s < specs.size(); ++s) {
-      scatter_range(specs[s].data, specs[s].dim, side.scatter[s].data(),
-                    side.scatter[s].size(), src);
+      if (region_is_rows(specs[s]))
+        scatter_range(specs[s].data, specs[s].dim, side.scatter[s].data(),
+                      side.scatter[s].size(), src);
+      else
+        scatter_cm(specs[s].data, *specs[s].layout,
+                   side.scatter[s].data(), 0, side.scatter[s].size(),
+                   side.scatter[s].size(), src);
       src += side.scatter[s].size() *
              static_cast<std::size_t>(specs[s].dim) * sizeof(double);
     }
@@ -238,9 +330,14 @@ void unpack_grouped(const GroupedPlan::Side& side,
       const std::size_t b = n * static_cast<std::size_t>(t) / nt;
       const std::size_t e = n * (static_cast<std::size_t>(t) + 1) / nt;
       if (b == e) continue;
-      scatter_range(specs[s].data, specs[s].dim,
-                    side.scatter[s].data() + b, e - b,
-                    payload.data() + base[s] + b * row);
+      if (region_is_rows(specs[s]))
+        scatter_range(specs[s].data, specs[s].dim,
+                      side.scatter[s].data() + b, e - b,
+                      payload.data() + base[s] + b * row);
+      else
+        scatter_cm(specs[s].data, *specs[s].layout,
+                   side.scatter[s].data(), b, e, n,
+                   payload.data() + base[s]);
     }
   });
 }

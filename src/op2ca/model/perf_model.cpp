@@ -7,7 +7,8 @@ namespace op2ca::model {
 double t_op2_loop(const Machine& mach, const LoopTerms& t) {
   const double L = mach.effective_latency();
   const double B = mach.net.bandwidth_Bps;
-  const double su = mach.compute_speedup() / mach.locality_factor;
+  const double su =
+      mach.compute_speedup() * mach.vector_width / mach.locality_factor;
   const double compute_core =
       t.g * static_cast<double>(t.core_iters) / su;
   const double comm = static_cast<double>(t.msgs_per_neighbor) * t.p *
@@ -25,7 +26,8 @@ double t_op2_chain(const Machine& mach, const std::vector<LoopTerms>& ts) {
 double t_ca_chain(const Machine& mach, const ChainTerms& t) {
   const double L = mach.effective_latency();
   const double B = mach.net.bandwidth_Bps;
-  const double su = mach.compute_speedup() / mach.locality_factor;
+  const double su =
+      mach.compute_speedup() * mach.vector_width / mach.locality_factor;
   double compute_core = 0.0, compute_halo = 0.0;
   for (const LoopTerms& lt : t.loops) {
     compute_core += lt.g * static_cast<double>(lt.core_iters) / su;

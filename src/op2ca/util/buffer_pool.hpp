@@ -26,6 +26,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "op2ca/util/aligned.hpp"
+
 namespace op2ca {
 
 class BufferPool {
@@ -34,14 +36,17 @@ public:
   /// buffer that already holds `bytes` (keeping larger ones for larger
   /// requests — mixed message sizes would otherwise re-grow a small
   /// buffer every epoch); with no fit, the largest one grows. Counts an
-  /// allocation when storage is created or grown.
-  std::vector<std::byte> take(std::size_t bytes) {
-    high_water_ = std::max(high_water_, bytes);
-    window_max_ = std::max(window_max_, bytes);
+  /// allocation when storage is created or grown. Every reserve is
+  /// rounded up to a whole number of cache lines so recycled storage
+  /// stays line-granular (ByteBuf's allocator provides the 64-byte
+  /// block starts themselves).
+  ByteBuf take(std::size_t bytes) {
+    high_water_ = std::max(high_water_, round_line(bytes));
+    window_max_ = std::max(window_max_, round_line(bytes));
     if (++window_takes_ >= kDecayWindow) decay();
     if (free_.empty()) {
       ++allocations_;
-      std::vector<std::byte> buf;
+      ByteBuf buf;
       buf.reserve(high_water_);  // one growth covers all future requests
       buf.resize(bytes);
       return buf;
@@ -53,7 +58,7 @@ public:
       const bool better = b < bytes ? c > b : (c >= bytes && c < b);
       if (better) best = i;
     }
-    std::vector<std::byte> buf = std::move(free_[best]);
+    ByteBuf buf = std::move(free_[best]);
     free_[best] = std::move(free_.back());
     free_.pop_back();
     if (buf.capacity() < bytes) {
@@ -67,7 +72,7 @@ public:
   /// Returns a buffer to the pool. Empty buffers are dropped, as are
   /// buffers an old demand spike oversized relative to the decayed
   /// high-water mark (letting their memory actually return to the heap).
-  void release(std::vector<std::byte> buf) {
+  void release(ByteBuf buf) {
     if (buf.capacity() == 0) return;
     if (buf.capacity() > retain_cap()) return;  // spike leftover
     if (free_.size() >= kMaxPooled) return;     // let it free
@@ -92,6 +97,12 @@ private:
   /// enough for the mark to follow demand down.
   static constexpr std::size_t kDecayWindow = 64;
 
+  /// Reserve granularity: whole cache lines, matching the aligned block
+  /// starts the ByteBuf allocator guarantees.
+  static std::size_t round_line(std::size_t bytes) {
+    return (bytes + util::kCacheLine - 1) & ~(util::kCacheLine - 1);
+  }
+
   /// Retention threshold: 2x the mark tolerates allocator rounding and
   /// mild jitter without churning buffers at the boundary.
   std::size_t retain_cap() const { return 2 * high_water_; }
@@ -103,13 +114,13 @@ private:
     window_max_ = 0;
     window_takes_ = 0;
     free_.erase(std::remove_if(free_.begin(), free_.end(),
-                               [this](const std::vector<std::byte>& b) {
+                               [this](const ByteBuf& b) {
                                  return b.capacity() > retain_cap();
                                }),
                 free_.end());
   }
 
-  std::vector<std::vector<std::byte>> free_;
+  std::vector<ByteBuf> free_;
   std::int64_t allocations_ = 0;
   std::size_t high_water_ = 0;   ///< decaying demand estimate.
   std::size_t window_max_ = 0;   ///< largest request this window.

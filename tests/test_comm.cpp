@@ -13,13 +13,13 @@
 namespace op2ca::sim {
 namespace {
 
-std::vector<std::byte> bytes_of(const std::string& s) {
-  std::vector<std::byte> v(s.size());
+op2ca::ByteBuf bytes_of(const std::string& s) {
+  op2ca::ByteBuf v(s.size());
   std::memcpy(v.data(), s.data(), s.size());
   return v;
 }
 
-std::string string_of(const std::vector<std::byte>& v) {
+std::string string_of(const op2ca::ByteBuf& v) {
   return std::string(reinterpret_cast<const char*>(v.data()), v.size());
 }
 
@@ -41,12 +41,12 @@ TEST(Transport, PingPong) {
       const auto payload = bytes_of("hello");
       Request s = c.isend(1, 7, payload);
       c.wait(s);
-      std::vector<std::byte> buf;
+      op2ca::ByteBuf buf;
       Request r = c.irecv(1, 8, &buf);
       c.wait(r);
       EXPECT_EQ(string_of(buf), "world");
     } else {
-      std::vector<std::byte> buf;
+      op2ca::ByteBuf buf;
       Request r = c.irecv(0, 7, &buf);
       c.wait(r);
       EXPECT_EQ(string_of(buf), "hello");
@@ -69,7 +69,7 @@ TEST(Transport, FifoPerSourceAndTag) {
       }
     } else {
       for (int i = 0; i < 10; ++i) {
-        std::vector<std::byte> buf;
+        op2ca::ByteBuf buf;
         Request r = c.irecv(0, 3, &buf);
         c.wait(r);
         EXPECT_EQ(string_of(buf), "msg" + std::to_string(i));
@@ -88,7 +88,7 @@ TEST(Transport, TagsMatchIndependently) {
       c.wait(b);
     } else {
       // Receive in the opposite order to the sends.
-      std::vector<std::byte> buf2, buf1;
+      op2ca::ByteBuf buf2, buf1;
       Request r2 = c.irecv(0, 2, &buf2);
       c.wait(r2);
       Request r1 = c.irecv(0, 1, &buf1);
@@ -108,7 +108,7 @@ TEST(Transport, SenderMayReuseBufferAfterIsend) {
       std::memcpy(payload.data(), "XXXXX", 5);  // mutate after isend
       c.wait(s);
     } else {
-      std::vector<std::byte> buf;
+      op2ca::ByteBuf buf;
       Request r = c.irecv(0, 0, &buf);
       c.wait(r);
       EXPECT_EQ(string_of(buf), "first");
@@ -175,7 +175,7 @@ TEST(CommStats, CountsMessagesAndNeighbors) {
       EXPECT_EQ(c.stats().epoch_msgs_sent, 0);
       EXPECT_EQ(c.stats().msgs_sent, 2);  // lifetime counters survive
     } else {
-      std::vector<std::byte> buf;
+      op2ca::ByteBuf buf;
       Request r = c.irecv(0, 0, &buf);
       c.wait(r);
     }
@@ -194,7 +194,7 @@ TEST(Transport, PoisonUnblocksWaiters) {
   Transport t(2);
   std::thread waiter([&t] {
     Comm c(t, 0);
-    std::vector<std::byte> buf;
+    op2ca::ByteBuf buf;
     Request r = c.irecv(1, 5, &buf);
     EXPECT_THROW(c.wait(r), Error);
   });
@@ -208,7 +208,7 @@ TEST(Transport, SelfSendRejected) {
   Transport t(2);
   Comm c(t, 0);
   EXPECT_THROW(c.isend(0, 0, std::span<const std::byte>{}), Error);
-  std::vector<std::byte> buf;
+  op2ca::ByteBuf buf;
   EXPECT_THROW(c.irecv(0, 0, &buf), Error);
 }
 
@@ -237,11 +237,11 @@ TEST(Transport, RandomTrafficStress) {
       const std::uint64_t value =
           (static_cast<std::uint64_t>(c.rank()) << 32) |
           static_cast<std::uint64_t>(round);
-      std::vector<std::byte> payload(sizeof value);
+      op2ca::ByteBuf payload(sizeof value);
       std::memcpy(payload.data(), &value, sizeof value);
       Request s = c.isend(dst, round % 5, payload);
       c.wait(s);
-      std::vector<std::byte> buf;
+      op2ca::ByteBuf buf;
       Request r = c.irecv(src, round % 5, &buf);
       c.wait(r);
       std::uint64_t got = 0;

@@ -238,7 +238,7 @@ TEST(Renumber, GatherScatterRoundTrip) {
 TEST(Grouped, PackUnpackRows) {
   std::vector<double> src{0, 1, 2, 3, 4, 5, 6, 7};
   const LIdxVec idx{3, 1};
-  std::vector<std::byte> buf;
+  op2ca::ByteBuf buf;
   pack_rows(src.data(), 2, idx, &buf);
   EXPECT_EQ(buf.size(), 2 * 2 * sizeof(double));
 
@@ -329,7 +329,7 @@ TEST(Grouped, UnpackRejectsWrongSize) {
   DatSyncSpec spec{b.q.nodes, 1, 1, data.data()};
   ASSERT_FALSE(rp.neighbors.empty());
   const rank_t q = *rp.neighbors.begin();
-  std::vector<std::byte> bogus(3);  // not a multiple of a row
+  op2ca::ByteBuf bogus(3);  // not a multiple of a row
   EXPECT_THROW(unpack_grouped(rp, q, {&spec, 1}, bogus), Error);
 }
 

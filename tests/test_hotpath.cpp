@@ -32,11 +32,11 @@ TEST(BufferPool, FreshTakeAllocates) {
 
 TEST(BufferPool, ReleaseThenTakeReusesStorage) {
   BufferPool pool;
-  std::vector<std::byte> buf = pool.take(256);
+  op2ca::ByteBuf buf = pool.take(256);
   const std::byte* storage = buf.data();
   pool.release(std::move(buf));
   ASSERT_EQ(pool.pooled(), 1u);
-  std::vector<std::byte> again = pool.take(256);
+  op2ca::ByteBuf again = pool.take(256);
   EXPECT_EQ(again.data(), storage);  // same heap block, no allocation
   EXPECT_EQ(pool.allocations(), 1);
 }
@@ -59,8 +59,8 @@ TEST(BufferPool, GrowthCountsAsAllocation) {
 
 TEST(BufferPool, BestFitKeepsLargeBuffersForLargeRequests) {
   BufferPool pool;
-  std::vector<std::byte> small = pool.take(16);
-  std::vector<std::byte> big = pool.take(1024);
+  op2ca::ByteBuf small = pool.take(16);
+  op2ca::ByteBuf big = pool.take(1024);
   pool.release(std::move(small));
   pool.release(std::move(big));
   // The small request must NOT consume the 1024-capacity buffer: the
@@ -112,10 +112,10 @@ TEST(GroupedPlan, PackMatchesReference) {
     auto specs = f.specs(r);
     const halo::GroupedPlan gp = halo::build_grouped_plan(rp, specs);
     for (const halo::GroupedPlan::Side& side : gp.sides) {
-      const std::vector<std::byte> ref =
+      const op2ca::ByteBuf ref =
           halo::pack_grouped(rp, side.q, specs);
       ASSERT_EQ(ref.size(), side.send_bytes);
-      std::vector<std::byte> out(side.send_bytes);
+      op2ca::ByteBuf out(side.send_bytes);
       halo::pack_grouped(side, specs, out.data());
       EXPECT_EQ(out, ref) << "rank " << r << " -> " << side.q;
     }
@@ -147,7 +147,7 @@ TEST(GroupedPlan, UnpackMatchesReference) {
     if (side.recv_bytes == 0) continue;
     const rank_t q = side.q;
     auto sender_specs = f.specs(q);
-    const std::vector<std::byte> payload = halo::pack_grouped(
+    const op2ca::ByteBuf payload = halo::pack_grouped(
         f.plan.ranks[static_cast<std::size_t>(q)], 0, sender_specs);
     ASSERT_EQ(payload.size(), side.recv_bytes);
     halo::unpack_grouped(side, specs_plan, payload);
@@ -165,7 +165,7 @@ TEST(GroupedPlan, PlanPackRejectsNothingButWrongSizeUnpackThrows) {
   ASSERT_FALSE(gp.sides.empty());
   const auto& side = gp.sides[0];
   ASSERT_GT(side.recv_bytes, 0u);
-  std::vector<std::byte> bogus(side.recv_bytes + 8);
+  op2ca::ByteBuf bogus(side.recv_bytes + 8);
   EXPECT_THROW(halo::unpack_grouped(side, specs, bogus), Error);
 }
 
@@ -175,7 +175,7 @@ TEST(ZeroCopy, MovedSendPreservesStorageIdentity) {
   sim::Transport t(2);
   sim::Comm c0(t, 0), c1(t, 1);
 
-  std::vector<std::byte> buf(64);
+  op2ca::ByteBuf buf(64);
   for (std::size_t i = 0; i < buf.size(); ++i)
     buf[i] = static_cast<std::byte>(i);
   const std::byte* storage = buf.data();
@@ -183,7 +183,7 @@ TEST(ZeroCopy, MovedSendPreservesStorageIdentity) {
   sim::Request s = c0.isend(1, 7, std::move(buf));
   EXPECT_TRUE(buf.empty());  // ownership gone: no payload copy was made
 
-  std::vector<std::byte> recv;
+  op2ca::ByteBuf recv;
   sim::Request r = c1.irecv(0, 7, &recv);
   c1.wait(r);
   c0.wait(s);
@@ -201,10 +201,10 @@ TEST(ZeroCopy, MovedSendPreservesStorageIdentity) {
 TEST(ZeroCopy, SpanSendStillCopies) {
   sim::Transport t(2);
   sim::Comm c0(t, 0), c1(t, 1);
-  std::vector<std::byte> buf(16, std::byte{42});
+  op2ca::ByteBuf buf(16, std::byte{42});
   sim::Request s = c0.isend(1, 1, std::span<const std::byte>(buf));
   EXPECT_EQ(buf.size(), 16u);  // caller keeps its buffer
-  std::vector<std::byte> recv;
+  op2ca::ByteBuf recv;
   sim::Request r = c1.irecv(0, 1, &recv);
   c1.wait(r);
   c0.wait(s);

@@ -2,7 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
+#include "op2ca/util/aligned.hpp"
 #include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/error.hpp"
 #include "op2ca/util/options.hpp"
@@ -180,7 +182,7 @@ TEST(BufferPool, ReleaseDropsSpikeLeftoverAfterDecay) {
   BufferPool pool;
   // A large buffer still in flight while demand decays (e.g. a chain's
   // recv slot) must not re-enter the pool on release.
-  std::vector<std::byte> big = pool.take(4 << 20);
+  op2ca::ByteBuf big = pool.take(4 << 20);
   for (int i = 0; i < 200; ++i) pool.release(pool.take(512));
   const std::size_t before = pool.pooled_bytes();
   pool.release(std::move(big));
@@ -197,6 +199,64 @@ TEST(BufferPool, MixedSizesKeepLargeBuffersWithinWindow) {
   }
   EXPECT_GE(pool.high_water(), std::size_t{1} << 16);
   EXPECT_GE(pool.pooled_bytes(), std::size_t{1} << 16);
+}
+
+// -- Cache alignment (the SIMD data plane packs via SIMD-width loads, so
+// staging buffers carry the allocator's 64-byte guarantee). -------------
+
+TEST(BufferPool, BuffersAreCacheAligned) {
+  BufferPool pool;
+  for (const std::size_t bytes : {1u, 63u, 64u, 65u, 4096u, 100001u}) {
+    op2ca::ByteBuf buf = pool.take(bytes);
+    EXPECT_EQ(buf.size(), bytes);
+    EXPECT_TRUE(util::cache_aligned(buf.data())) << bytes;
+    pool.release(std::move(buf));
+  }
+}
+
+TEST(BufferPool, AlignmentSurvivesRecycling) {
+  BufferPool pool;
+  // Shrinking reuse: a recycled buffer is resized down, never
+  // reallocated, so the original allocation's alignment must carry over.
+  pool.release(pool.take(8192));
+  const std::int64_t allocs = pool.allocations();
+  for (const std::size_t bytes : {8192u, 100u, 8000u, 1u}) {
+    op2ca::ByteBuf buf = pool.take(bytes);
+    EXPECT_TRUE(util::cache_aligned(buf.data())) << bytes;
+    pool.release(std::move(buf));
+  }
+  EXPECT_EQ(pool.allocations(), allocs);  // all served from the pool
+}
+
+TEST(BufferPool, AlignmentSurvivesHighWaterDecay) {
+  BufferPool pool;
+  // Spike, then decay back to small traffic: post-decay allocations are
+  // fresh and must come out aligned like the originals.
+  pool.release(pool.take(8 << 20));
+  for (int i = 0; i < 200; ++i) {
+    op2ca::ByteBuf buf = pool.take(512);
+    EXPECT_TRUE(util::cache_aligned(buf.data()));
+    pool.release(std::move(buf));
+  }
+  EXPECT_LT(pool.pooled_bytes(), std::size_t{1} << 20);
+  op2ca::ByteBuf buf = pool.take(640);
+  EXPECT_TRUE(util::cache_aligned(buf.data()));
+}
+
+TEST(BufferPool, HighWaterRoundsUpToCacheLines) {
+  BufferPool pool;
+  pool.release(pool.take(65));  // rounds to 128
+  EXPECT_EQ(pool.high_water() % util::kCacheLine, 0u);
+  EXPECT_GE(pool.high_water(), std::size_t{128});
+}
+
+TEST(AlignedAlloc, VectorStorageIsCacheAligned) {
+  for (const std::size_t n : {1u, 7u, 64u, 1000u}) {
+    util::AlignedDVec v(n, 1.0);
+    EXPECT_TRUE(util::cache_aligned(v.data())) << n;
+    util::AlignedDVec moved = std::move(v);  // moves keep the allocation
+    EXPECT_TRUE(util::cache_aligned(moved.data())) << n;
+  }
 }
 
 }  // namespace
