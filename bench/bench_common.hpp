@@ -18,6 +18,9 @@
 //   --vector-width=X override the SIMD speedup factor applied for a
 //                  non-AoS layout (default: kDefaultLayoutSpeedup, the
 //                  measured direct-loop A/B ratio from BENCH_simd.json)
+//   --taskgraph    model dependency-driven block sweeps instead of
+//                  colour barriers (Machine::taskgraph; executing
+//                  benches also set WorldConfig::taskgraph)
 #pragma once
 
 #include <iostream>
@@ -55,6 +58,7 @@ struct BenchConfig {
   mesh::LayoutKind layout = mesh::LayoutKind::AoS;
   int aosoa_block = 8;
   double vector_width = 0;  ///< 0 = derive from `layout`.
+  bool taskgraph = false;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -65,6 +69,7 @@ struct BenchConfig {
     cfg.layout = mesh::layout_by_name(opt.get_string("layout", "aos"));
     cfg.aosoa_block = static_cast<int>(opt.get_int("aosoa-block", 8));
     cfg.vector_width = opt.get_double("vector-width", 0);
+    cfg.taskgraph = opt.get_bool("taskgraph", false);
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
     OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
     OP2CA_REQUIRE(cfg.vector_width >= 0, "--vector-width must be >= 0");
@@ -76,6 +81,7 @@ struct BenchConfig {
   /// non-AoS layout divides them by Machine::vector_width.
   model::Machine apply_threads(model::Machine mach) const {
     mach.threads_per_rank = threads;
+    mach.taskgraph = taskgraph;
     if (vector_width > 0)
       mach.vector_width = vector_width;
     else if (layout != mesh::LayoutKind::AoS)
@@ -94,8 +100,8 @@ struct BenchConfig {
 };
 
 inline std::set<std::string> standard_option_names() {
-  return {"scale",       "csv",         "calibrate", "threads",
-          "layout",      "aosoa-block", "vector-width"};
+  return {"scale",       "csv",         "calibrate",    "threads",
+          "layout",      "aosoa-block", "vector-width", "taskgraph"};
 }
 
 /// Paper mesh sizes by label.

@@ -816,11 +816,129 @@ void write_simd_json(const char* path, const std::string& only,
   }
 }
 
+// ---------------------------------------------------------------------
+// Task-graph sweep harness (BENCH_hotpath.json "taskgraph_sweep"): the
+// indirect-INC update over a scrambled hex3d mesh through the full World
+// executor. Serial baseline = scrambled partition order, width 1, colour
+// barriers. The graph rows run RCM-reordered at widths 2 and 4, once
+// with colour barriers and once with WorldConfig::taskgraph, so the JSON
+// separates what the locality layer buys from what dependency-driven
+// scheduling buys on top. `speedup` is graph vs the scrambled serial
+// baseline — the number CI gates on (>= 2x at 4 threads on multi-core
+// runners; on a single-core host it is carried by the reordering).
+// ---------------------------------------------------------------------
+
+struct TaskgraphCase {
+  double sweep_ns = 0;  ///< per edge, full executor path.
+  std::int64_t tasks = 0, steals = 0;
+  double dep_wait_s = 0;
+};
+
+TaskgraphCase bench_taskgraph_case(const mesh::MeshDef& m,
+                                   mesh::ReorderKind kind, int threads,
+                                   bool taskgraph) {
+  core::WorldConfig cfg;
+  cfg.nranks = 1;
+  cfg.halo_depth = 1;
+  cfg.threads_per_rank = threads;
+  cfg.reorder.kind = kind;
+  cfg.taskgraph = taskgraph;
+  core::World w(m, cfg);
+
+  const auto num_edges =
+      static_cast<double>(w.mesh().set(*w.mesh().find_set("edges")).size);
+  TaskgraphCase r;
+  w.run([&](core::Runtime& rt) {
+    const core::Set edges = rt.set("edges");
+    const core::Dat res = rt.dat("tg_res");
+    const core::Dat pres = rt.dat("tg_pres");
+    const core::Map map = rt.map("e2n");
+    r.sweep_ns =
+        1e9 / num_edges * time_per_call([&] {
+          rt.par_loop("tg_update", edges,
+                      apps::mgcfd::kernels::synth_update,
+                      core::arg_dat(res, 0, map, core::Access::INC),
+                      core::arg_dat(res, 1, map, core::Access::INC),
+                      core::arg_dat(pres, 0, map, core::Access::READ),
+                      core::arg_dat(pres, 1, map, core::Access::READ));
+        });
+  });
+  const auto metrics = w.loop_metrics();
+  if (metrics.count("tg_update") != 0) {
+    const core::LoopMetrics& m2 = metrics.at("tg_update");
+    r.tasks = m2.tasks;
+    r.steals = m2.steals;
+    r.dep_wait_s = m2.dep_wait_seconds;
+  }
+  return r;
+}
+
+struct TaskgraphWidthResult {
+  int threads = 1;
+  double barrier_ns = 0;  ///< RCM, colour barriers.
+  double graph_ns = 0;    ///< RCM, task graph.
+  double speedup = 0;     ///< graph vs scrambled serial baseline.
+  double vs_barrier = 0;  ///< graph vs barrier at the same width.
+  std::int64_t tasks = 0, steals = 0;
+  double dep_wait_s = 0;
+};
+
+struct TaskgraphResult {
+  gidx_t nodes = 0, edges = 0;
+  double serial_ns = 0;
+  std::vector<TaskgraphWidthResult> widths;
+  double best_speedup = 0;
+};
+
+TaskgraphResult bench_taskgraph_sweep() {
+  // Same sizing rationale as the locality harness: the gathered node
+  // streams dwarf the LLC, so the scrambled serial baseline is
+  // gather-bound and both knobs under test (ordering, scheduling) are
+  // what the timer sees.
+  mesh::Hex3D h = mesh::make_hex3d(108, 108, 108);
+  const auto nodes = h.nodes;
+  h.mesh.add_dat("tg_res", nodes, 2);
+  {
+    const gidx_t n = h.mesh.set(nodes).size;
+    std::vector<double> pres(static_cast<std::size_t>(n) * 2);
+    Rng rng(8);
+    for (auto& v : pres) v = rng.next_range(0.5, 1.5);
+    h.mesh.add_dat("tg_pres", nodes, 2, std::move(pres));
+  }
+  const mesh::MeshDef scrambled = mesh::scramble_mesh(h.mesh, 99);
+
+  TaskgraphResult r;
+  r.nodes = h.mesh.set(h.nodes).size;
+  r.edges = h.mesh.set(h.edges).size;
+  r.serial_ns =
+      bench_taskgraph_case(scrambled, mesh::ReorderKind::None, 1, false)
+          .sweep_ns;
+  for (const int threads : {2, 4}) {
+    const TaskgraphCase barrier = bench_taskgraph_case(
+        scrambled, mesh::ReorderKind::RCM, threads, false);
+    const TaskgraphCase graph = bench_taskgraph_case(
+        scrambled, mesh::ReorderKind::RCM, threads, true);
+    TaskgraphWidthResult w;
+    w.threads = threads;
+    w.barrier_ns = barrier.sweep_ns;
+    w.graph_ns = graph.sweep_ns;
+    w.speedup = r.serial_ns / graph.sweep_ns;
+    w.vs_barrier = barrier.sweep_ns / graph.sweep_ns;
+    w.tasks = graph.tasks;
+    w.steals = graph.steals;
+    w.dep_wait_s = graph.dep_wait_s;
+    r.best_speedup = std::max(r.best_speedup, w.speedup);
+    r.widths.push_back(w);
+  }
+  return r;
+}
+
 void write_hotpath_json(const char* path) {
   const DispatchResult direct = bench_direct_dispatch();
   const DispatchResult indirect = bench_indirect_dispatch();
   const GroupedResult grouped = bench_grouped_pack();
   const ThreadedSweepResult sweep = bench_threaded_sweep();
+  const TaskgraphResult tg = bench_taskgraph_sweep();
 
   std::ofstream os(path);
   os.precision(5);
@@ -854,6 +972,23 @@ void write_hotpath_json(const char* path) {
        << ", \"speedup\": " << w.speedup << "}";
   }
   os << "]\n"
+     << "  },\n"
+     << "  \"taskgraph_sweep\": {\n"
+     << "    \"mesh\": {\"nodes\": " << tg.nodes
+     << ", \"edges\": " << tg.edges << "},\n"
+     << "    \"serial_ns\": " << tg.serial_ns << ",\n    \"widths\": [";
+  for (std::size_t i = 0; i < tg.widths.size(); ++i) {
+    const auto& w = tg.widths[i];
+    os << (i == 0 ? "" : ", ") << "{\"threads\": " << w.threads
+       << ", \"barrier_ns\": " << w.barrier_ns
+       << ", \"graph_ns\": " << w.graph_ns
+       << ", \"speedup\": " << w.speedup
+       << ", \"vs_barrier\": " << w.vs_barrier
+       << ", \"tasks\": " << w.tasks << ", \"steals\": " << w.steals
+       << ", \"dep_wait_s\": " << w.dep_wait_s << "}";
+  }
+  os << "],\n"
+     << "    \"best_speedup\": " << tg.best_speedup << "\n"
      << "  }\n"
      << "}\n";
   const double best_sweep =
@@ -866,6 +1001,13 @@ void write_hotpath_json(const char* path) {
       grouped.plan_unpack_gbps / grouped.ref_unpack_gbps,
       sweep.widths.empty() ? 0 : sweep.widths.back().threads, best_sweep,
       sweep.colours, path);
+  for (const TaskgraphWidthResult& w : tg.widths)
+    std::printf(
+        "  taskgraph @%dt: %.2f ns/edge, %.2fx vs scrambled serial "
+        "(%.2f ns), %.2fx vs colour barriers, %lld tasks, %lld steals\n",
+        w.threads, w.graph_ns, w.speedup, tg.serial_ns, w.vs_barrier,
+        static_cast<long long>(w.tasks),
+        static_cast<long long>(w.steals));
 }
 
 }  // namespace

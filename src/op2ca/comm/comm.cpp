@@ -25,14 +25,20 @@ Request Comm::isend(rank_t dst, tag_t tag,
                     std::span<const std::byte> payload) {
   Message msg;
   msg.payload.assign(payload.begin(), payload.end());
-  stats_.sends_copied += 1;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    stats_.sends_copied += 1;
+  }
   return post_send(dst, tag, std::move(msg));
 }
 
 Request Comm::isend(rank_t dst, tag_t tag, ByteBuf payload) {
   Message msg;
   msg.payload = std::move(payload);
-  stats_.sends_moved += 1;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    stats_.sends_moved += 1;
+  }
   return post_send(dst, tag, std::move(msg));
 }
 
@@ -42,6 +48,10 @@ Request Comm::post_send(rank_t dst, tag_t tag, Message msg) {
   msg.dst = dst;
   msg.tag = tag;
   const std::size_t n = msg.payload.size();
+
+  // Concurrent pack tasks of one rank may isend simultaneously; the lock
+  // keeps stats consistent and message posting ordered per sender.
+  std::lock_guard<std::mutex> lock(send_mu_);
   transport_->post(std::move(msg));
 
   stats_.msgs_sent += 1;

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <span>
 #include <vector>
@@ -60,7 +61,11 @@ private:
 
 /// One simulated process's communication endpoint.
 ///
-/// Not thread-safe: a Comm belongs to exactly one rank thread.
+/// A Comm belongs to exactly one rank thread, with one exception: isend
+/// is safe to call concurrently from that rank's pool workers (taskgraph
+/// mode posts pack isends from whichever worker runs the pack task) — a
+/// send mutex serialises the statistics update and the mailbox post.
+/// Receives, waits and collectives remain rank-thread-only.
 class Comm {
 public:
   Comm(Transport& transport, rank_t rank, const CostModel* cost = nullptr);
@@ -109,6 +114,7 @@ private:
   const CostModel* cost_;
   CommStats stats_;
   VirtualClock clock_;
+  std::mutex send_mu_;  ///< serialises concurrent isends (see class doc).
 };
 
 }  // namespace op2ca::sim

@@ -10,13 +10,21 @@ RankState::RankState(World* w, sim::Transport& transport, rank_t r)
     : world(w), rank(r), comm(transport, r, &w->config().cost) {
   const mesh::MeshDef& mesh = world->mesh();
   serial_dispatch = w->config().serial_dispatch;
-  // serial_dispatch wins over threading: the per-element equivalence knob
-  // must reproduce the classic order exactly.
-  if (w->config().threads_per_rank > 1 && !serial_dispatch)
+  // serial_dispatch wins over threading and the task graph: the
+  // per-element equivalence knob must reproduce the classic order exactly.
+  taskgraph = w->config().taskgraph && !serial_dispatch;
+  // Taskgraph mode needs a pool even at width 1 so that the width-1 FIFO
+  // graph path runs — keeping a single-thread taskgraph World bitwise
+  // equal to wider ones.
+  if ((w->config().threads_per_rank > 1 || taskgraph) && !serial_dispatch)
     pool = std::make_unique<util::ThreadPool>(w->config().threads_per_rank);
   // Blocked colouring rides with the locality layer: with reordering off
   // every dispatch path must stay bitwise-identical to earlier builds.
-  if (w->config().reorder.enabled())
+  // The task graph always needs blocks (its dependency unit), so its
+  // block size wins whenever it is on.
+  if (taskgraph)
+    colour_block = std::max<lidx_t>(2, w->config().taskgraph_block);
+  else if (w->config().reorder.enabled())
     colour_block = std::max<lidx_t>(1, w->config().reorder.colour_block);
   dats.resize(static_cast<std::size_t>(mesh.num_dats()));
   loop_exchanges.resize(static_cast<std::size_t>(mesh.num_dats()));

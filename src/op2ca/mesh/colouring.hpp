@@ -67,4 +67,28 @@ Colouring block_colouring(lidx_t n, std::span<const ColourMapView> views,
 bool colouring_valid(const Colouring& c, lidx_t n,
                      std::span<const ColourMapView> views);
 
+/// The block-conflict adjacency underlying a blocked colouring: blocks a
+/// and b are adjacent iff some element of a and some element of b share a
+/// target through any view. Adjacent blocks always carry distinct
+/// colours, so orienting every edge from the lower colour to the higher
+/// one yields a DAG — the dependency graph the task-graph executor runs:
+/// a block becomes runnable once all its lower-coloured neighbours
+/// finished, and per written cell the accumulation order is the static
+/// colour order, independent of how the schedule interleaves.
+struct BlockGraph {
+  lidx_t block_elems = 1;
+  lidx_t num_blocks = 0;
+  int num_colours = 0;
+  std::vector<int> colour;          ///< per block, 0..num_colours-1.
+  std::vector<std::size_t> adj_off; ///< CSR offsets, num_blocks + 1.
+  LIdxVec adj;  ///< conflicting neighbour blocks, ascending per row.
+};
+
+/// Builds the symmetric block-conflict adjacency for `col` (a colouring
+/// produced by block_colouring over the same n and views; requires
+/// col.block_elems > 1). Deterministic: neighbour lists come out sorted.
+BlockGraph block_conflict_graph(lidx_t n,
+                                std::span<const ColourMapView> views,
+                                const Colouring& col);
+
 }  // namespace op2ca::mesh

@@ -23,7 +23,8 @@ enum class Mode { kOp2, kCa, kLazy };
 WorldConfig equiv_config(int nranks, Mode mode, bool serial_dispatch,
                          mesh::ReorderKind reorder = mesh::ReorderKind::None,
                          int threads = 1,
-                         mesh::LayoutConfig layout = {}) {
+                         mesh::LayoutConfig layout = {},
+                         bool taskgraph = false) {
   WorldConfig cfg;
   cfg.nranks = nranks;
   cfg.partitioner = partition::Kind::KWay;
@@ -33,6 +34,8 @@ WorldConfig equiv_config(int nranks, Mode mode, bool serial_dispatch,
   cfg.reorder.kind = reorder;
   cfg.threads_per_rank = threads;
   cfg.layout = layout;
+  cfg.taskgraph = taskgraph;
+  cfg.taskgraph_block = 32;
   if (mode == Mode::kCa) cfg.chains.enable("synthetic");
   if (mode == Mode::kLazy) cfg.lazy = true;
   return cfg;
@@ -73,13 +76,14 @@ struct SynthResult {
 SynthResult run_synth(int nranks, Mode mode, bool serial_dispatch,
                       mesh::ReorderKind reorder = mesh::ReorderKind::None,
                       int threads = 1,
-                      mesh::LayoutConfig layout = {}) {
+                      mesh::LayoutConfig layout = {},
+                      bool taskgraph = false) {
   apps::mgcfd::Problem prob = apps::mgcfd::build_problem(1200, 1);
   const mesh::dat_id sres = prob.sres, sflux = prob.sflux,
                      spres = prob.spres;
   World w(std::move(prob.mg.mesh),
           equiv_config(nranks, mode, serial_dispatch, reorder, threads,
-                       layout));
+                       layout, taskgraph));
   w.run([&](Runtime& rt) {
     const auto h = apps::mgcfd::resolve_handles(rt, prob);
     for (int t = 0; t < 2; ++t) {
@@ -264,6 +268,56 @@ TEST(Equivalence, LayoutAosoaBlockInvariance) {
                   layout_cfg(mesh::LayoutKind::AoSoA, block));
     expect_bitwise(b8, other);
   }
+}
+
+// -- Task-graph executor (WorldConfig::taskgraph). ----------------------
+//
+// The dependency-driven block sweep replaces colour barriers with a DAG
+// over blocks; per written cell the accumulation order is still the
+// static colour order. Direct loops are untouched (bitwise vs serial);
+// indirect-INC loops reassociate against the per-element baseline
+// (tolerance); and within the graph path any pool width is bitwise —
+// the DAG, not the schedule, orders every conflicting pair.
+
+TEST(Equivalence, TaskgraphMatchesSerialAllModes) {
+  for (const Mode mode : {Mode::kOp2, Mode::kCa, Mode::kLazy}) {
+    const SynthResult base = run_synth(5, mode, false);
+    const SynthResult tg =
+        run_synth(5, mode, false, mesh::ReorderKind::None, 4, {}, true);
+    EXPECT_EQ(base.spres, tg.spres);  // direct loop: exact
+    testutil::expect_allclose(base.sres, tg.sres);
+    testutil::expect_allclose(base.sflux, tg.sflux);
+  }
+}
+
+TEST(Equivalence, TaskgraphWidthIndependentAllModes) {
+  // Widths 1/2/4 over the graph path are bitwise: width 1 is the serial
+  // FIFO drain of the same DAG, not the legacy colour sweep.
+  for (const Mode mode : {Mode::kOp2, Mode::kCa, Mode::kLazy}) {
+    const SynthResult w1 =
+        run_synth(4, mode, false, mesh::ReorderKind::None, 1, {}, true);
+    for (const int width : {2, 4})
+      expect_bitwise(w1, run_synth(4, mode, false,
+                                   mesh::ReorderKind::None, width, {},
+                                   true));
+  }
+}
+
+TEST(Equivalence, TaskgraphComposesWithReorderAndLayout) {
+  // The graph path stacks on the locality layer and the SIMD data plane:
+  // compare against the colour-barrier sweep at the SAME (reorder,
+  // layout, width) configuration. Different blocking (taskgraph_block vs
+  // reorder.colour_block) reassociates the INC sums — tolerance; the
+  // direct loop stays exact.
+  const SynthResult barrier =
+      run_synth(4, Mode::kOp2, false, mesh::ReorderKind::RCM, 4,
+                layout_cfg(mesh::LayoutKind::SoA));
+  const SynthResult graph =
+      run_synth(4, Mode::kOp2, false, mesh::ReorderKind::RCM, 4,
+                layout_cfg(mesh::LayoutKind::SoA), true);
+  EXPECT_EQ(barrier.spres, graph.spres);
+  testutil::expect_allclose(barrier.sres, graph.sres);
+  testutil::expect_allclose(barrier.sflux, graph.sflux);
 }
 
 // -- Hydra chain (vflux preceded by its gradl producer). ----------------
