@@ -21,6 +21,15 @@
 //   --taskgraph    model dependency-driven block sweeps instead of
 //                  colour barriers (Machine::taskgraph; executing
 //                  benches also set WorldConfig::taskgraph)
+//   --rails=N      stripe large messages across N network rails (0 =
+//                  keep the machine preset's rail count; model benches
+//                  override Machine::net.net_rails, executing benches
+//                  set WorldConfig::transport.rails)
+//   --persistent   pre-negotiate persistent channels per cached exchange
+//                  plan (WorldConfig::transport.persistent)
+//   --backend=K    transport backend {sim,mpi}; mpi is the real backend
+//                  when built with -DOP2CA_MPI=ON, a protocol-identical
+//                  in-process stub otherwise
 #pragma once
 
 #include <iostream>
@@ -29,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "op2ca/comm/channel.hpp"
+#include "op2ca/comm/transport.hpp"
 #include "op2ca/core/chain.hpp"
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/halo/halo_plan.hpp"
@@ -59,6 +70,9 @@ struct BenchConfig {
   int aosoa_block = 8;
   double vector_width = 0;  ///< 0 = derive from `layout`.
   bool taskgraph = false;
+  int rails = 0;  ///< 0 = machine preset's rail count.
+  bool persistent = false;
+  std::string backend = "sim";
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -70,9 +84,15 @@ struct BenchConfig {
     cfg.aosoa_block = static_cast<int>(opt.get_int("aosoa-block", 8));
     cfg.vector_width = opt.get_double("vector-width", 0);
     cfg.taskgraph = opt.get_bool("taskgraph", false);
+    cfg.rails = static_cast<int>(opt.get_int("rails", 0));
+    cfg.persistent = opt.get_bool("persistent", false);
+    cfg.backend = opt.get_string("backend", "sim");
+    sim::backend_by_name(cfg.backend);  // validate the name early
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
     OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
     OP2CA_REQUIRE(cfg.vector_width >= 0, "--vector-width must be >= 0");
+    OP2CA_REQUIRE(cfg.rails >= 0 && cfg.rails <= sim::kMaxRails,
+                  "--rails must be in [0, 8]");
     return cfg;
   }
 
@@ -86,7 +106,18 @@ struct BenchConfig {
       mach.vector_width = vector_width;
     else if (layout != mesh::LayoutKind::AoS)
       mach.vector_width = kDefaultLayoutSpeedup;
+    if (rails > 0) mach.net.net_rails = rails;
     return mach;
+  }
+
+  /// Transport knobs as a WorldConfig ingredient (benches that execute
+  /// exchanges rather than evaluate the model).
+  sim::TransportConfig transport_config() const {
+    sim::TransportConfig tc;
+    tc.backend = sim::backend_by_name(backend);
+    if (rails > 0) tc.rails = rails;
+    tc.persistent = persistent;
+    return tc;
   }
 
   /// Layout knobs as a WorldConfig ingredient (benches that execute
@@ -100,8 +131,9 @@ struct BenchConfig {
 };
 
 inline std::set<std::string> standard_option_names() {
-  return {"scale",       "csv",         "calibrate",    "threads",
-          "layout",      "aosoa-block", "vector-width", "taskgraph"};
+  return {"scale",      "csv",     "calibrate",  "threads",
+          "layout",     "aosoa-block", "vector-width", "taskgraph",
+          "rails",      "persistent",  "backend"};
 }
 
 /// Paper mesh sizes by label.

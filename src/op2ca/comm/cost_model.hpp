@@ -1,4 +1,5 @@
-// Latency/bandwidth communication cost model (LogGP-flavoured).
+// Latency/bandwidth communication cost model (LogGP-flavoured), extended
+// with a machine hierarchy.
 //
 // The analytic model of the paper (Eqs 1-3) charges a halo exchange
 // p * (L + m/B [+ c]) where L is network latency, B bandwidth, p the
@@ -6,25 +7,135 @@
 // machine parameters; model/machine.cpp provides ARCHER2-like and
 // Cirrus-like presets. The same parameters drive the per-rank virtual
 // clocks in real execution mode so small runs report machine-scaled times.
+//
+// Hierarchy: ranks fold onto a thread < NUMA < node < network machine.
+// A message between two ranks crosses the cheapest tier containing both
+// (Tier::Numa inside one NUMA domain, Tier::Node across domains of one
+// node, Tier::Net across nodes), each tier with its own (latency,
+// bandwidth, rail-count) parameters. The legacy flat fields (latency_s /
+// bandwidth_Bps) ARE the network tier, so existing presets and tests see
+// identical numbers; the topology stays flat (every pair is Tier::Net)
+// until ranks_per_node is set. Rails model parallel physical links
+// (NICs, memory channels): a message striped into r sub-messages uses
+// min(r, rails) links concurrently — CommBench's rail pattern.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
+#include "op2ca/util/types.hpp"
+
 namespace op2ca::sim {
+
+/// Machine tier a message crosses, cheapest first. (The thread tier —
+/// workers of one rank — moves no messages and has no wire parameters.)
+enum class Tier { Numa = 0, Node = 1, Net = 2 };
+inline constexpr int kNumTiers = 3;
+
+inline const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::Numa: return "numa";
+    case Tier::Node: return "node";
+    default: return "net";
+  }
+}
+
+/// Per-tier wire parameters: latency, per-rail bandwidth, rail count.
+struct TierParams {
+  double latency_s = 0;
+  double bandwidth_Bps = 0;
+  int rails = 1;
+};
 
 struct CostModel {
   std::string name = "default";
 
   double latency_s = 2.0e-6;          ///< L: per-message network latency.
-  double bandwidth_Bps = 12.5e9;      ///< B: network bandwidth, bytes/s.
+  double bandwidth_Bps = 12.5e9;      ///< B: per-rail network bandwidth.
   double pack_bandwidth_Bps = 20e9;   ///< memcpy bandwidth for (un)packing.
   double per_message_overhead_s = 0;  ///< extra host overhead per message.
+  /// Residual host overhead of a message sent through a persistent
+  /// channel: the dst/tag/size slot is pre-negotiated, so matching and
+  /// envelope setup (per_message_overhead_s) collapse to this.
+  double channel_overhead_s = 0;
+  /// Parallel network rails (NICs) one rank may stripe a message across.
+  int net_rails = 1;
 
-  /// Time to move one `bytes`-sized message to a neighbour.
+  // Topology: ranks [k*ranks_per_numa, ...) share a NUMA domain, ranks
+  // [k*ranks_per_node, ...) share a node. 0 = flat (every rank pair
+  // crosses the network), which keeps legacy configs bit-identical.
+  int ranks_per_numa = 0;
+  int ranks_per_node = 0;
+  /// Intra-node tiers; meaningful once the topology above is set.
+  TierParams numa{5.0e-7, 40e9, 1};
+  TierParams node{1.0e-6, 20e9, 1};
+
+  /// Cheapest tier containing both ranks.
+  Tier tier_of(rank_t a, rank_t b) const {
+    if (ranks_per_node > 0 && a / ranks_per_node == b / ranks_per_node) {
+      if (ranks_per_numa > 0 && a / ranks_per_numa == b / ranks_per_numa)
+        return Tier::Numa;
+      return Tier::Node;
+    }
+    return Tier::Net;
+  }
+
+  double tier_latency(Tier t) const {
+    switch (t) {
+      case Tier::Numa: return numa.latency_s;
+      case Tier::Node: return node.latency_s;
+      default: return latency_s;
+    }
+  }
+  double tier_bandwidth(Tier t) const {
+    switch (t) {
+      case Tier::Numa: return numa.bandwidth_Bps;
+      case Tier::Node: return node.bandwidth_Bps;
+      default: return bandwidth_Bps;
+    }
+  }
+  int tier_rails(Tier t) const {
+    switch (t) {
+      case Tier::Numa: return numa.rails;
+      case Tier::Node: return node.rails;
+      default: return net_rails;
+    }
+  }
+
+  /// Time to move one `bytes`-sized message to a neighbour (flat legacy
+  /// form: the network tier).
   double message_time(std::int64_t bytes) const {
     return latency_s + per_message_overhead_s +
            static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  /// Tier-aware single-message time.
+  double message_time(std::int64_t bytes, Tier t) const {
+    return tier_latency(t) + per_message_overhead_s +
+           static_cast<double>(bytes) / tier_bandwidth(t);
+  }
+
+  /// A `bytes`-sized message striped into `stripes` sub-messages over
+  /// the tier's rails. min(stripes, rails) sub-messages travel
+  /// concurrently, each on its own link; extra stripes serialise their
+  /// bytes behind them (striping onto one rail buys nothing).
+  double striped_time(std::int64_t bytes, int stripes, Tier t) const {
+    if (stripes <= 1) return message_time(bytes, t);
+    const int conc = std::min(std::max(stripes, 1), tier_rails(t));
+    const double rounds =
+        static_cast<double>(stripes) / static_cast<double>(conc);
+    const double per_stripe =
+        static_cast<double>(bytes) / static_cast<double>(stripes);
+    return tier_latency(t) + per_message_overhead_s +
+           rounds * per_stripe / tier_bandwidth(t);
+  }
+
+  /// striped_time through a persistent channel: the pre-negotiated slot
+  /// replaces the per-message host setup with channel_overhead_s.
+  double channel_time(std::int64_t bytes, int stripes, Tier t) const {
+    return striped_time(bytes, stripes, t) - per_message_overhead_s +
+           channel_overhead_s;
   }
 
   /// Pack or unpack cost for `bytes` of staged halo data (the `c` term of

@@ -1,16 +1,29 @@
-// In-process message transport shared by all simulated ranks.
+// Pluggable message transport behind the per-rank Comm endpoints.
 //
-// This is the distributed-memory substrate standing in for MPI (none is
-// installed in this environment). Semantics mirror the subset of MPI the
-// OP2 runtime needs: point-to-point tagged messages with non-overtaking
-// order per (src, dst, tag), non-blocking send/recv with wait, and a
-// barrier. Each rank runs on its own thread; mailboxes are mutex+condvar
-// protected queues. Payloads are moved into the destination mailbox on
-// post: the zero-copy isend overload transfers ownership of the sender's
-// staging buffer (the span overload still copies for small collectives).
-// Ownership handover happens under the mailbox mutex, so the receiver may
-// recycle the buffer freely after wait() — see util/buffer_pool.hpp for
-// the staging-buffer lifecycle.
+// TransportBackend is the contract every exchange path (per-loop, grouped
+// chain, collectives, striped and persistent-channel sends) talks to:
+// point-to-point tagged messages with non-overtaking order per (src, dst,
+// tag), blocking/timed/non-blocking matching, a barrier, and poison for
+// failure unwinding. Two implementations exist:
+//
+//  - sim::Transport (this file): the in-process fabric standing in for
+//    MPI. Ranks are threads; mailboxes are mutex+condvar protected
+//    queues. Payloads are moved into the destination mailbox on post:
+//    the zero-copy isend overload transfers ownership of the sender's
+//    staging buffer (the span overload still copies for small
+//    collectives). Ownership handover happens under the mailbox mutex,
+//    so the receiver may recycle the buffer freely after wait() — see
+//    util/buffer_pool.hpp for the staging-buffer lifecycle. Carries the
+//    fault-injection hooks the failure suite drives.
+//
+//  - sim::MpiBackend (mpi_backend.hpp): the same contract over real MPI
+//    when built with -DOP2CA_MPI=ON and an MPI toolchain; a compile-only
+//    stub that routes the identical protocol layer (tag encoding,
+//    channel negotiation, striping) over an in-process fabric when MPI
+//    is absent.
+//
+// make_backend() picks the implementation from a TransportConfig, which
+// also carries the striping/persistent-channel knobs consumed by Comm.
 #pragma once
 
 #include <atomic>
@@ -18,8 +31,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "op2ca/util/aligned.hpp"
@@ -39,34 +54,113 @@ struct Message {
   ByteBuf payload;
 };
 
-/// Shared mailbox fabric for `nranks` simulated processes.
-class Transport {
+/// Which TransportBackend implementation a World runs on.
+enum class BackendKind { Sim, Mpi };
+
+const char* backend_name(BackendKind k);
+BackendKind backend_by_name(const std::string& name);
+
+/// Transport configuration carried by WorldConfig: backend selection plus
+/// the striping / persistent-channel knobs Comm consumes. The defaults
+/// (sim backend, 1 rail, non-persistent) keep every exchange on the
+/// legacy single-isend path, bitwise-identical to earlier builds.
+struct TransportConfig {
+  BackendKind backend = BackendKind::Sim;
+  /// Stripe fan-out: messages >= stripe_min_bytes split into up to this
+  /// many rail sub-messages, reassembled out-of-order on the receiver.
+  /// 1 disables striping.
+  int rails = 1;
+  /// Messages below this never stripe (latency-bound traffic gains
+  /// nothing from extra envelopes).
+  std::size_t stripe_min_bytes = std::size_t{64} * 1024;
+  /// Persistent channels: grouped/loop exchanges pre-negotiate
+  /// (dst, tag, size) slots once per cached plan — a la MPI_Send_init —
+  /// and steady-state epochs post headerless stripes into them.
+  bool persistent = false;
+  /// Reassembly deadline: a striped or channel receive that cannot
+  /// complete within this raises instead of deadlocking (dropped rail,
+  /// peer failure). Seconds.
+  double stripe_timeout_s = 120.0;
+};
+
+/// Abstract transport fabric shared by `nranks` SPMD endpoints.
+class TransportBackend {
 public:
-  explicit Transport(int nranks);
+  virtual ~TransportBackend() = default;
 
-  int size() const { return nranks_; }
+  virtual const char* name() const = 0;
+  virtual int size() const = 0;
 
-  /// Enqueues a message at the destination mailbox (non-blocking).
-  void post(Message msg);
+  /// Enqueues a message for the destination (non-blocking).
+  virtual void post(Message msg) = 0;
 
   /// Blocks until a message from `src` with `tag` is available for `dst`
-  /// and removes it from the mailbox. FIFO per (src, tag).
-  Message match(rank_t dst, rank_t src, tag_t tag);
+  /// and removes it. FIFO per (src, tag). Throws when poisoned.
+  virtual Message match(rank_t dst, rank_t src, tag_t tag) = 0;
 
   /// Non-blocking probe-and-take; returns false if nothing matches yet.
-  bool try_match(rank_t dst, rank_t src, tag_t tag, Message* out);
+  virtual bool try_match(rank_t dst, rank_t src, tag_t tag,
+                         Message* out) = 0;
 
-  /// Dissemination-free centralised barrier over all ranks.
-  void barrier();
+  /// Blocking match with a deadline: false on timeout, throws when
+  /// poisoned. Striped reassembly uses this to fail loudly on a lost
+  /// rail instead of waiting forever.
+  virtual bool match_for(rank_t dst, rank_t src, tag_t tag, Message* out,
+                         double timeout_s) = 0;
 
-  /// Number of messages currently queued across all mailboxes (test aid).
-  std::size_t in_flight() const;
+  /// Synchronises all ranks.
+  virtual void barrier() = 0;
+
+  /// Number of messages currently queued (test aid).
+  virtual std::size_t in_flight() const = 0;
 
   /// Marks the fabric as failed: every blocked or future match/barrier
   /// throws instead of waiting forever. Called when a rank errors so the
   /// remaining SPMD threads unwind instead of deadlocking.
-  void poison();
-  bool poisoned() const { return poisoned_.load(); }
+  virtual void poison() = 0;
+  virtual bool poisoned() const = 0;
+};
+
+/// Constructs the backend `cfg` selects (validating rails etc.). The Mpi
+/// kind returns the real MPI backend when compiled in, the in-process
+/// stub otherwise.
+std::unique_ptr<TransportBackend> make_backend(const TransportConfig& cfg,
+                                               int nranks);
+
+/// In-process mailbox fabric for `nranks` simulated processes.
+class Transport : public TransportBackend {
+public:
+  explicit Transport(int nranks);
+
+  const char* name() const override { return "sim"; }
+  int size() const override { return nranks_; }
+
+  void post(Message msg) override;
+  Message match(rank_t dst, rank_t src, tag_t tag) override;
+  bool try_match(rank_t dst, rank_t src, tag_t tag, Message* out) override;
+  bool match_for(rank_t dst, rank_t src, tag_t tag, Message* out,
+                 double timeout_s) override;
+
+  /// Dissemination-free centralised barrier over all ranks.
+  void barrier() override;
+
+  std::size_t in_flight() const override;
+
+  void poison() override;
+  bool poisoned() const override { return poisoned_.load(); }
+
+  // ---- Fault / contention injection (test hooks). ---------------------
+  /// Drops the next `count` posts matching (src, dst, tag) on the floor —
+  /// a dead rail. Reassembly must then fail loudly, never deliver torn.
+  void inject_drop(rank_t src, rank_t dst, tag_t tag, int count = 1);
+  /// Truncates the next `count` matching posts to `keep_bytes` of
+  /// payload — a torn stripe the receiver must reject.
+  void inject_truncate(rank_t src, rank_t dst, tag_t tag,
+                       std::size_t keep_bytes, int count = 1);
+  /// Delays every post TO `dst` by `seconds` inside the destination's
+  /// serialisation scope. Lets the contention regression test observe
+  /// that sends to other destinations do not queue behind it.
+  void set_post_delay(rank_t dst, double seconds);
 
 private:
   struct Mailbox {
@@ -75,11 +169,26 @@ private:
     std::deque<Message> queue;
   };
 
+  struct Injection {
+    rank_t src = -1;
+    rank_t dst = -1;
+    tag_t tag = 0;
+    bool drop = false;          // else truncate
+    std::size_t keep_bytes = 0;
+    int count = 0;
+  };
+
   bool take_locked(Mailbox& box, rank_t src, tag_t tag, Message* out);
+  /// Applies injections; returns false when the message must be dropped.
+  bool apply_injections(Message* msg);
 
   int nranks_;
   std::atomic<bool> poisoned_{false};
   std::vector<Mailbox> boxes_;
+
+  std::mutex inject_mu_;
+  std::vector<Injection> injections_;
+  std::vector<double> post_delay_s_;  ///< per-destination, empty = none.
 
   std::mutex barrier_mu_;
   std::condition_variable barrier_cv_;

@@ -6,8 +6,9 @@
 
 namespace op2ca::core::detail {
 
-RankState::RankState(World* w, sim::Transport& transport, rank_t r)
-    : world(w), rank(r), comm(transport, r, &w->config().cost) {
+RankState::RankState(World* w, sim::TransportBackend& transport, rank_t r)
+    : world(w), rank(r),
+      comm(transport, r, &w->config().cost, &w->config().transport) {
   const mesh::MeshDef& mesh = world->mesh();
   serial_dispatch = w->config().serial_dispatch;
   // serial_dispatch wins over threading and the task graph: the

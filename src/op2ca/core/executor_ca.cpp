@@ -89,6 +89,35 @@ ChainExchange& chain_exchange(RankState& st, ChainPlan& cp,
   }
   ex.plan = halo::build_grouped_plan(st.rank_plan(), ex.specs);
   ex.recv_bufs.resize(ex.plan.sides.size());
+
+  // Persistent channels (a la MPI_Send_init): negotiate one fixed
+  // (peer, tag, size) slot per grouped side, keyed by the same structural
+  // hash + stale mask that invalidates this exchange — a rank whose plan
+  // went stale renegotiates or fails the handshake loudly, it can never
+  // feed an old channel. Sides are walked in plan order on both ends
+  // (the grouped plan is rank-symmetric), so the k-th send-side open
+  // here pairs with the k-th recv-side open on the peer.
+  if (st.comm.transport_config().persistent) {
+    const std::uint64_t phash =
+        cp.structure ^ (mask * 0x9e3779b97f4a7c15ULL);
+    std::vector<sim::ChannelSpec> specs;
+    for (const halo::GroupedPlan::Side& side : ex.plan.sides) {
+      if (side.send_bytes > 0)
+        specs.push_back({side.q, /*sender=*/true, side.send_bytes, phash});
+      if (side.recv_bytes > 0)
+        specs.push_back({side.q, /*sender=*/false, side.recv_bytes, phash});
+    }
+    std::vector<sim::Channel> chans = st.comm.open_channels(specs);
+    ex.send_channels.resize(ex.plan.sides.size());
+    ex.recv_channels.resize(ex.plan.sides.size());
+    std::size_t k = 0;
+    for (std::size_t s = 0; s < ex.plan.sides.size(); ++s) {
+      if (ex.plan.sides[s].send_bytes > 0)
+        ex.send_channels[s] = std::move(chans[k++]);
+      if (ex.plan.sides[s].recv_bytes > 0)
+        ex.recv_channels[s] = std::move(chans[k++]);
+    }
+  }
   *plan_builds += 1;
   return cp.exchanges.emplace(mask, std::move(ex)).first->second;
 }
@@ -167,17 +196,28 @@ void execute_chain_ca(RankState& st, const std::string& name,
           for (std::size_t i = 0; i < ex->dats.size(); ++i)
             p.reads.push_back({ex->dats[i], &side.gather[i]});
           // The pack runs inside a graph task, so it must not re-enter
-          // the pool: serial pack_grouped (nullptr pool).
-          p.body = [&st, ex, &side, out,
+          // the pool: serial pack_grouped (nullptr pool). Workers may
+          // post to different neighbours concurrently — Comm serialises
+          // per destination.
+          p.body = [&st, ex, &side, s, out,
                     buf = st.staging.take(side.send_bytes)]() mutable {
             halo::pack_grouped(side, ex->specs, buf.data(), nullptr);
-            *out = st.comm.isend(side.q, kChainTag, std::move(buf));
+            *out = !ex->send_channels.empty()
+                       ? st.comm.channel_isend(ex->send_channels[s],
+                                               std::move(buf))
+                       : st.comm.stripe_isend(side.q, kChainTag,
+                                              std::move(buf));
           };
           packs.push_back(std::move(p));
         }
         if (side.recv_bytes > 0)
           ex->requests[slot++] =
-              st.comm.irecv(side.q, kChainTag, &ex->recv_bufs[s]);
+              !ex->recv_channels.empty()
+                  ? st.comm.channel_irecv(ex->recv_channels[s],
+                                          &ex->recv_bufs[s])
+                  : st.comm.stripe_irecv(side.q, kChainTag,
+                                         &ex->recv_bufs[s],
+                                         side.recv_bytes);
       }
     } else {
       ex->requests.clear();
@@ -189,11 +229,20 @@ void execute_chain_ca(RankState& st, const std::string& name,
           for (const LIdxVec& g : side.gather)
             halo_elems += static_cast<std::int64_t>(g.size());
           ex->requests.push_back(
-              st.comm.isend(side.q, kChainTag, std::move(buf)));
+              !ex->send_channels.empty()
+                  ? st.comm.channel_isend(ex->send_channels[s],
+                                          std::move(buf))
+                  : st.comm.stripe_isend(side.q, kChainTag,
+                                         std::move(buf)));
         }
         if (side.recv_bytes > 0)
           ex->requests.push_back(
-              st.comm.irecv(side.q, kChainTag, &ex->recv_bufs[s]));
+              !ex->recv_channels.empty()
+                  ? st.comm.channel_irecv(ex->recv_channels[s],
+                                          &ex->recv_bufs[s])
+                  : st.comm.stripe_irecv(side.q, kChainTag,
+                                         &ex->recv_bufs[s],
+                                         side.recv_bytes));
       }
     }
   }
@@ -284,6 +333,13 @@ void execute_chain_ca(RankState& st, const std::string& name,
                      static_cast<int>(st.rank_dat(a.dat).layout.kind));
   }
   metrics.halo_elems = halo_elems;
+  metrics.numa_bytes =
+      st.comm.stats().epoch_bytes_by_tier[static_cast<int>(sim::Tier::Numa)];
+  metrics.node_bytes =
+      st.comm.stats().epoch_bytes_by_tier[static_cast<int>(sim::Tier::Node)];
+  metrics.net_bytes =
+      st.comm.stats().epoch_bytes_by_tier[static_cast<int>(sim::Tier::Net)];
+  metrics.stripes = st.comm.stats().epoch_stripes;
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;

@@ -76,6 +76,10 @@ void LoopMetrics::merge_from(const LoopMetrics& other) {
   reuse_gap = std::max(reuse_gap, other.reuse_gap);
   layout_code = std::max(layout_code, other.layout_code);
   halo_elems += other.halo_elems;
+  numa_bytes += other.numa_bytes;
+  node_bytes += other.node_bytes;
+  net_bytes += other.net_bytes;
+  stripes += other.stripes;
 }
 
 namespace detail {

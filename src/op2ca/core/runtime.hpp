@@ -120,6 +120,14 @@ struct LoopMetrics {
   // bytes moved per exchanged element for EXPERIMENTS.md correlations.
   int layout_code = 0;
   std::int64_t halo_elems = 0;
+  // Transport hierarchy: wire bytes sent per machine tier (NUMA-local,
+  // node-local, cross-network — flat topologies put everything in net)
+  // and stripe sub-messages posted by the multi-rail striping layer
+  // (0 unless WorldConfig::transport.rails > 1 met the size threshold).
+  std::int64_t numa_bytes = 0;
+  std::int64_t node_bytes = 0;
+  std::int64_t net_bytes = 0;
+  std::int64_t stripes = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -320,6 +328,11 @@ struct WorldConfig {
   std::string seed_set;
   int halo_depth = 2;
   sim::CostModel cost{};
+  /// Transport layer: backend selection (sim fabric or MPI) plus the
+  /// multi-rail striping and persistent-channel knobs. The defaults —
+  /// sim backend, 1 rail, non-persistent — keep every exchange on the
+  /// legacy single-isend path, bitwise-identical to earlier builds.
+  sim::TransportConfig transport{};
   /// Per-iteration checks that every touched element is locally present.
   bool validate = false;
   /// Debug/equivalence knob: invoke the region bodies one element at a
@@ -434,7 +447,7 @@ private:
   partition::Partition part_;
   halo::HaloPlan plan_;
   halo::ReorderResult reorder_;
-  std::unique_ptr<sim::Transport> transport_;
+  std::unique_ptr<sim::TransportBackend> transport_;
   std::vector<std::unique_ptr<detail::RankState>> ranks_;
 };
 

@@ -54,6 +54,11 @@ struct LoopExchange {
   std::vector<Segment> sends;
   std::vector<Segment> recvs;
   std::vector<ByteBuf> recv_bufs;  ///< slots, recvs-parallel.
+  /// Persistent channels (WorldConfig::transport.persistent): negotiated
+  /// once when the exchange is built, parallel to sends/recvs. Empty
+  /// when persistence is off.
+  std::vector<sim::Channel> send_channels;
+  std::vector<sim::Channel> recv_channels;
 };
 
 /// One persistent grouped exchange of a chain for a fixed set of stale
@@ -66,6 +71,12 @@ struct ChainExchange {
   halo::GroupedPlan plan;
   std::vector<ByteBuf> recv_bufs;  ///< sides-parallel.
   std::vector<sim::Request> requests;             ///< reused capacity.
+  /// Persistent channels (WorldConfig::transport.persistent), negotiated
+  /// once per (chain, stale-mask) exchange and keyed by the same
+  /// structural hash that invalidates the plan. Sides-parallel; empty
+  /// when persistence is off.
+  std::vector<sim::Channel> send_channels;
+  std::vector<sim::Channel> recv_channels;
 };
 
 /// Everything the CA executor caches per chain name. `structure` is a
@@ -181,7 +192,7 @@ struct RankState {
   std::map<std::string, LoopMetrics> loop_metrics;
   std::map<std::string, LoopMetrics> chain_metrics;
 
-  RankState(World* w, sim::Transport& transport, rank_t r);
+  RankState(World* w, sim::TransportBackend& transport, rank_t r);
 
   const halo::RankPlan& rank_plan() const;
   const halo::SetLayout& layout(mesh::set_id s) const;

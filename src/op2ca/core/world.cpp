@@ -40,7 +40,7 @@ World::World(mesh::MeshDef mesh, WorldConfig cfg)
   // the pre-reorder numbering.
   reorder_ = halo::apply_reorder(mesh_, cfg_.reorder, &plan_);
 
-  transport_ = std::make_unique<sim::Transport>(cfg_.nranks);
+  transport_ = sim::make_backend(cfg_.transport, cfg_.nranks);
   ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
   for (rank_t r = 0; r < cfg_.nranks; ++r)
     ranks_.push_back(
@@ -132,7 +132,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                 "halo_s", "regions", "plan_builds", "staging_allocs",
                 "chunks", "colours", "busy_s", "tasks", "steals",
                 "dep_wait_s", "gather_span", "reuse_gap", "layout",
-                "bytes_per_elem"});
+                "bytes_per_elem", "numa_bytes", "node_bytes", "net_bytes",
+                "stripes"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -150,7 +151,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                m.halo_elems > 0
                    ? static_cast<double>(m.bytes) /
                          static_cast<double>(m.halo_elems)
-                   : 0.0});
+                   : 0.0,
+               m.numa_bytes, m.node_bytes, m.net_bytes, m.stripes});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

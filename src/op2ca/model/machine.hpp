@@ -8,6 +8,7 @@
 // computation/communication balance is realistic.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "op2ca/comm/cost_model.hpp"
@@ -64,6 +65,21 @@ struct Machine {
     return net.latency_s + extra_latency_s;
   }
   double extra_latency_s = 0.0;
+  /// Multi-rail striping threshold (mirrors TransportConfig): messages
+  /// at or above this stripe across net.net_rails parallel links, which
+  /// enters Eq (1)/(3) as an effective bandwidth B * rails on the m/B
+  /// serialisation term. Latency-bound messages below it are unaffected
+  /// — striping buys bandwidth, not latency. With net_rails == 1 (the
+  /// default CostModel) every prediction is bitwise-identical to the
+  /// flat model.
+  std::size_t stripe_min_bytes = std::size_t{64} * 1024;
+  /// Effective wire bandwidth for one `bytes`-sized message: B times the
+  /// rail count once the message is large enough to stripe.
+  double effective_bandwidth(std::size_t bytes) const {
+    const bool striped =
+        net.net_rails > 1 && bytes >= stripe_min_bytes;
+    return net.bandwidth_Bps * (striped ? net.net_rails : 1);
+  }
 };
 
 /// HPE Cray EX: 2 x 64-core EPYC 7742/node, Slingshot 2x100 Gb/s.

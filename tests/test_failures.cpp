@@ -2,9 +2,14 @@
 // legibly, never deadlock, and leave errors attributable.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <sstream>
+#include <string>
+#include <thread>
 
 #include "op2ca/apps/mgcfd/mgcfd.hpp"
+#include "op2ca/comm/comm.hpp"
+#include "op2ca/comm/transport.hpp"
 #include "op2ca/core/chain_config.hpp"
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/mesh/quad2d.hpp"
@@ -196,6 +201,136 @@ TEST(WorldFailures, InfeasibleChainRejectedWithGuidance) {
                 what.find("poisoned") != std::string::npos)
         << what;
   }
+}
+
+// ---- Transport faults: a striped exchange must fail loudly or fall
+// back; delivering a torn message silently is never an option. ------------
+
+TEST(TransportFailures, DroppedRailTimesOutLoudly) {
+  sim::Transport t(2);
+  sim::TransportConfig tc;
+  tc.rails = 4;
+  tc.stripe_min_bytes = 64;
+  tc.stripe_timeout_s = 0.2;  // fail fast in the test.
+  // Rail 0's stripe never arrives: a dead NIC / lost sub-message.
+  t.inject_drop(/*src=*/0, /*dst=*/1, /*tag=*/9, /*count=*/1);
+  sim::Comm sender(t, 0, nullptr, &tc);
+  auto sreq = sender.stripe_isend(1, 9, ByteBuf(2048));
+  sender.wait(sreq);
+  sim::Comm recv(t, 1, nullptr, &tc);
+  ByteBuf out;
+  auto rreq = recv.stripe_irecv(0, 9, &out, 2048);
+  try {
+    recv.wait(rreq);
+    FAIL() << "reassembly must not complete with a dropped rail";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("timed out"), std::string::npos) << what;
+    EXPECT_NE(what.find("dropped rail"), std::string::npos) << what;
+  }
+}
+
+TEST(TransportFailures, TruncatedStripeRejectedAsTorn) {
+  sim::Transport t(2);
+  sim::TransportConfig tc;
+  tc.rails = 4;
+  tc.stripe_min_bytes = 64;
+  // Keep the 32-byte header plus 8 payload bytes: the header promises a
+  // full stripe, the body cannot honour it.
+  t.inject_truncate(/*src=*/0, /*dst=*/1, /*tag=*/9, /*keep_bytes=*/40);
+  sim::Comm sender(t, 0, nullptr, &tc);
+  auto sreq = sender.stripe_isend(1, 9, ByteBuf(2048));
+  sender.wait(sreq);
+  sim::Comm recv(t, 1, nullptr, &tc);
+  ByteBuf out;
+  auto rreq = recv.stripe_irecv(0, 9, &out, 2048);
+  try {
+    recv.wait(rreq);
+    FAIL() << "a truncated stripe must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("torn"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TransportFailures, StripeShorterThanHeaderRejected) {
+  sim::Transport t(2);
+  sim::TransportConfig tc;
+  tc.rails = 4;
+  tc.stripe_min_bytes = 64;
+  // Not even a whole header survives.
+  t.inject_truncate(/*src=*/0, /*dst=*/1, /*tag=*/9, /*keep_bytes=*/16);
+  sim::Comm sender(t, 0, nullptr, &tc);
+  auto sreq = sender.stripe_isend(1, 9, ByteBuf(2048));
+  sender.wait(sreq);
+  sim::Comm recv(t, 1, nullptr, &tc);
+  ByteBuf out;
+  auto rreq = recv.stripe_irecv(0, 9, &out, 2048);
+  try {
+    recv.wait(rreq);
+    FAIL() << "a headerless fragment must be rejected";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TransportFailures, BelowThresholdFallsBackUnstriped) {
+  // Small messages never stripe, so a multi-rail config cannot tear
+  // them: the same injection that kills a stripe above has nothing to
+  // bite on when the message takes the legacy single-send path.
+  sim::Transport t(2);
+  sim::TransportConfig tc;
+  tc.rails = 4;
+  tc.stripe_min_bytes = 1 << 20;
+  sim::Comm sender(t, 0, nullptr, &tc);
+  ByteBuf payload(2048);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::byte>(i & 0xff);
+  ByteBuf copy = payload;
+  auto sreq = sender.stripe_isend(1, 9, std::move(copy));
+  sender.wait(sreq);
+  EXPECT_EQ(sender.stats().stripes_sent, 0);
+  sim::Comm recv(t, 1, nullptr, &tc);
+  ByteBuf out;
+  auto rreq = recv.stripe_irecv(0, 9, &out, 2048);
+  recv.wait(rreq);
+  EXPECT_EQ(out, payload);
+}
+
+TEST(TransportFailures, StaleChannelGeometryRejected) {
+  // The two ends of a persistent channel disagree on the slot size — one
+  // side's exchange plan changed without renegotiation. The handshake
+  // must refuse on both ends rather than truncate or pad traffic.
+  sim::Transport t(2);
+  sim::TransportConfig tc;
+  tc.rails = 1;
+  tc.persistent = true;
+  std::vector<std::string> errors(2);
+  std::vector<std::thread> threads;
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        sim::Comm c(t, r, nullptr, &tc);
+        sim::ChannelSpec spec;
+        spec.peer = 1 - r;
+        spec.sender = (r == 0);
+        spec.bytes = (r == 0) ? 256 : 512;  // stale: sizes diverged.
+        spec.plan_hash = 42;
+        c.open_channels(std::span<const sim::ChannelSpec>(&spec, 1));
+      } catch (const Error& e) {
+        errors[r] = e.what();
+        t.poison();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(errors[0].empty());
+  EXPECT_FALSE(errors[1].empty());
+  EXPECT_TRUE(
+      errors[0].find("geometry mismatch") != std::string::npos ||
+      errors[1].find("geometry mismatch") != std::string::npos)
+      << errors[0] << " / " << errors[1];
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "op2ca/comm/comm.hpp"
+#include "op2ca/comm/transport.hpp"
 #include "op2ca/util/aligned.hpp"
 #include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/error.hpp"
@@ -437,6 +439,31 @@ TEST(ThreadPoolGraph, CycleIsDetectedNotDeadlocked) {
   EXPECT_THROW(pool.run_graph(2, dag.off.data(), dag.succ.data(),
                               dag.indeg.data(), [](int) {}),
                std::exception);
+}
+
+TEST(ThreadPoolContention, SendsToDistinctDestinationsDoNotSerialise) {
+  // Regression for the comm layer's send locking: taskgraph mode posts
+  // pack isends from pool workers, and a single send mutex would queue a
+  // fast send to one neighbour behind a slow send to another. Sends
+  // serialise per DESTINATION, so a worker posting to rank 2 must return
+  // promptly while a post to rank 1 sits in an injected 250 ms delay.
+  sim::Transport t(3);
+  t.set_post_delay(1, 0.25);
+  sim::Comm c(t, 0);
+  util::ThreadPool pool(2);
+  double elapsed[2] = {0.0, 0.0};
+  pool.run([&](int w) {
+    const auto start = std::chrono::steady_clock::now();
+    auto req = c.isend(w == 0 ? 1 : 2, 0, ByteBuf(64));
+    c.wait(req);
+    elapsed[w] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+  });
+  EXPECT_GE(elapsed[0], 0.2);   // the delayed destination pays its delay
+  EXPECT_LT(elapsed[1], 0.15);  // the other destination must not queue
+  EXPECT_EQ(c.stats().msgs_sent, 2);
 }
 
 }  // namespace
