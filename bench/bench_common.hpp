@@ -30,6 +30,11 @@
 //   --backend=K    transport backend {sim,mpi}; mpi is the real backend
 //                  when built with -DOP2CA_MPI=ON, a protocol-identical
 //                  in-process stub otherwise
+//   --calibration=F  fold a bench_calibrate BENCH_calibration.json into
+//                  the machine preset's network model (per-tier measured
+//                  latency/bandwidth/rails replace the preset's guesses;
+//                  an explicit --rails still wins over the measured rail
+//                  count)
 #pragma once
 
 #include <iostream>
@@ -39,6 +44,7 @@
 #include <vector>
 
 #include "op2ca/comm/channel.hpp"
+#include "op2ca/comm/cost_model.hpp"
 #include "op2ca/comm/transport.hpp"
 #include "op2ca/core/chain.hpp"
 #include "op2ca/core/runtime.hpp"
@@ -73,6 +79,7 @@ struct BenchConfig {
   int rails = 0;  ///< 0 = machine preset's rail count.
   bool persistent = false;
   std::string backend = "sim";
+  std::string calibration;  ///< BENCH_calibration.json path; empty = presets.
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -87,6 +94,7 @@ struct BenchConfig {
     cfg.rails = static_cast<int>(opt.get_int("rails", 0));
     cfg.persistent = opt.get_bool("persistent", false);
     cfg.backend = opt.get_string("backend", "sim");
+    cfg.calibration = opt.get_string("calibration", "");
     sim::backend_by_name(cfg.backend);  // validate the name early
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
     OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
@@ -106,6 +114,10 @@ struct BenchConfig {
       mach.vector_width = vector_width;
     else if (layout != mesh::LayoutKind::AoS)
       mach.vector_width = kDefaultLayoutSpeedup;
+    // Measured wire parameters replace the preset's guesses first, so an
+    // explicit --rails still wins over the calibrated rail count.
+    if (!calibration.empty())
+      sim::apply_calibration(sim::load_calibration(calibration), &mach.net);
     if (rails > 0) mach.net.net_rails = rails;
     return mach;
   }
@@ -133,7 +145,7 @@ struct BenchConfig {
 inline std::set<std::string> standard_option_names() {
   return {"scale",      "csv",     "calibrate",  "threads",
           "layout",     "aosoa-block", "vector-width", "taskgraph",
-          "rails",      "persistent",  "backend"};
+          "rails",      "persistent",  "backend",     "calibration"};
 }
 
 /// Paper mesh sizes by label.

@@ -18,6 +18,7 @@
 #include "op2ca/apps/hydra/hydra_kernels.hpp"
 #include "op2ca/apps/mgcfd/mgcfd_kernels.hpp"
 #include "op2ca/comm/comm.hpp"
+#include "op2ca/comm/cost_model.hpp"
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/halo/grouped.hpp"
 #include "op2ca/halo/halo_plan.hpp"
@@ -1026,9 +1027,16 @@ void write_hotpath_json(const char* path) {
 //              host overhead to the channel overhead.
 // ---------------------------------------------------------------------
 
+/// BENCH_calibration.json path from --calibration=; empty = use the
+/// bench4rail guesses below.
+std::string g_calibration_path;  // NOLINT
+
 /// Archer2-flavoured network with 4 rails for the A/B sweep. The
 /// per-message host overhead is the quantity persistent channels
 /// amortise; keep it and the channel overhead at the preset's values.
+/// With --calibration=, the measured per-tier wire parameters replace
+/// these guesses (host overheads stay: the wire sweeps do not measure
+/// them).
 sim::CostModel transport_bench_model() {
   sim::CostModel cm;
   cm.name = "bench4rail";
@@ -1037,6 +1045,8 @@ sim::CostModel transport_bench_model() {
   cm.per_message_overhead_s = 4.0e-6;
   cm.channel_overhead_s = 1.0e-6;
   cm.net_rails = 4;
+  if (!g_calibration_path.empty())
+    sim::apply_calibration(sim::load_calibration(g_calibration_path), &cm);
   return cm;
 }
 
@@ -1171,6 +1181,9 @@ int main(int argc, char** argv) {
       else mesh::layout_by_name(layout_only);         // validate the name
     } else if (arg.rfind("--aosoa-block=", 0) == 0) {
       aosoa_block = std::atoi(arg.c_str() + 14);
+    } else if (arg.rfind("--calibration=", 0) == 0) {
+      g_calibration_path = arg.substr(14);
+      sim::load_calibration(g_calibration_path);  // validate early
     } else {
       argv[keep++] = argv[i];
     }

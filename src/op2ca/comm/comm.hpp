@@ -151,6 +151,16 @@ public:
   /// Gathers one value from each rank, in rank order, on every rank.
   std::vector<double> allgather(double value);
   std::vector<std::int64_t> allgather(std::int64_t value);
+  /// Element-wise vector sum across ranks (deterministic rank-order
+  /// accumulation on the root). All ranks must pass the same size.
+  /// World::fetch_dat uses this in SPMD mode to combine per-rank owned
+  /// scatters into the full global array on every process.
+  std::vector<double> allreduce_sum(std::vector<double> values);
+  /// Gathers one variable-size byte blob per rank onto every rank, in
+  /// rank order. SPMD-mode metrics reduction serialises each process's
+  /// LoopMetrics maps through this so rank 0 (and everyone else) can
+  /// merge them exactly as the threaded World does.
+  std::vector<ByteBuf> allgather_bytes(const ByteBuf& blob);
 
   CommStats& stats() { return stats_; }
   const CommStats& stats() const { return stats_; }

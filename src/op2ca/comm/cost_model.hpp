@@ -41,12 +41,53 @@ inline const char* tier_name(Tier t) {
   }
 }
 
+struct Calibration;
+struct CostModel;
+
 /// Per-tier wire parameters: latency, per-rail bandwidth, rail count.
 struct TierParams {
   double latency_s = 0;
   double bandwidth_Bps = 0;
   int rails = 1;
+
+  /// The measured parameters of tier `t` from a bench_calibrate run
+  /// (BENCH_calibration.json) — the measured-machine-model discipline:
+  /// cost-model predictions driven by what the wire actually did rather
+  /// than the presets' guesses.
+  static TierParams from_calibration(const Calibration& cal, Tier t);
 };
+
+/// A parsed BENCH_calibration.json: per-tier (latency, bandwidth,
+/// effective rails) measured by bench_calibrate's ping-pong and
+/// multi-pair streaming sweeps over one backend (sim fabric, mpi-stub,
+/// or real MPI under mpirun).
+struct Calibration {
+  std::string backend;  ///< "sim" | "mpi" | "mpi-stub".
+  int nranks = 0;
+  TierParams tiers[kNumTiers];  ///< indexed by Tier.
+
+  const TierParams& tier(Tier t) const {
+    return tiers[static_cast<int>(t)];
+  }
+};
+
+/// Parses the BENCH_calibration.json text. Validates the schema the CI
+/// gate also enforces: all three tiers present with latency > 0,
+/// bandwidth > 0, rails >= 1, and bandwidth monotone non-increasing /
+/// latency monotone non-decreasing up the hierarchy (numa -> node ->
+/// net). Raises with context on any violation.
+Calibration parse_calibration(const std::string& json_text);
+
+/// parse_calibration over a file's contents; raises if unreadable.
+Calibration load_calibration(const std::string& path);
+
+/// Folds measured tiers into a cost model: numa/node tiers are replaced
+/// wholesale, and the net tier lands in the legacy flat fields
+/// (latency_s / bandwidth_Bps / net_rails) that every preset and Eq
+/// (1)-(3) term reads. Host-side overheads (per_message_overhead_s,
+/// channel_overhead_s, pack_bandwidth_Bps) are not measured by the wire
+/// sweeps and keep the model's values.
+void apply_calibration(const Calibration& cal, CostModel* cm);
 
 struct CostModel {
   std::string name = "default";

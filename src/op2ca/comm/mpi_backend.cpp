@@ -1,6 +1,26 @@
 #include "op2ca/comm/mpi_backend.hpp"
 
+#include <cstdlib>
+
 #include "op2ca/util/error.hpp"
+
+namespace op2ca::sim {
+
+// Launcher detection is a pure environment probe shared by the real and
+// stub builds: OpenMPI (OMPI_*), MPICH/hydra and derivatives (PMI_*),
+// PMIx-based launchers, and srun's PMI2 all export a world-size variable
+// to every spawned process.
+bool MpiBackend::launched_under_mpirun() {
+  static const char* const kVars[] = {
+      "OMPI_COMM_WORLD_SIZE", "PMI_SIZE", "PMIX_SIZE", "PMIX_RANK",
+      "MV2_COMM_WORLD_SIZE",  "MPI_LOCALNRANKS",
+  };
+  for (const char* v : kVars)
+    if (std::getenv(v) != nullptr) return true;
+  return false;
+}
+
+}  // namespace op2ca::sim
 
 #ifdef OP2CA_HAVE_MPI
 
@@ -23,7 +43,6 @@ struct MpiBackend::Impl {
   std::mutex mu;
   std::deque<std::pair<MPI_Request, ByteBuf>> pending;
   std::atomic<bool> poisoned{false};
-  bool we_initialized = false;
 
   void drain_completed() {
     while (!pending.empty()) {
@@ -36,23 +55,68 @@ struct MpiBackend::Impl {
 };
 
 namespace {
+
 int mpi_tag(tag_t tag) { return static_cast<int>(tag + kMpiTagShift); }
+
+// Process-wide MPI lifecycle guard. Exactly one MPI_Init_thread happens
+// no matter how many MpiBackends a process constructs (the test binaries
+// build Worlds in sequence), and the matching MPI_Finalize runs once at
+// process exit — never from a backend destructor, where it would kill
+// MPI under a sibling World constructed later. An externally initialized
+// MPI (embedding application) is respected: we query its thread level
+// instead of re-initializing, and never finalize what we did not start.
+struct MpiEnv {
+  bool we_initialized = false;
+
+  MpiEnv() {
+    int initialized = 0;
+    MPI_Initialized(&initialized);
+    int provided = 0;
+    if (!initialized) {
+      MPI_Init_thread(nullptr, nullptr, MPI_THREAD_SERIALIZED, &provided);
+      we_initialized = true;
+    } else {
+      MPI_Query_thread(&provided);
+    }
+    OP2CA_REQUIRE(
+        provided >= MPI_THREAD_SERIALIZED,
+        "MpiBackend: the MPI library provides thread level " +
+            std::to_string(provided) + " but MPI_THREAD_SERIALIZED (" +
+            std::to_string(MPI_THREAD_SERIALIZED) +
+            ") is required — taskgraph pack workers post sends "
+            "concurrently under one mutex");
+  }
+
+  ~MpiEnv() {
+    if (!we_initialized) return;
+    int finalized = 0;
+    MPI_Finalized(&finalized);
+    if (!finalized) MPI_Finalize();
+  }
+};
+
+/// First call initializes MPI (idempotent from then on); the static's
+/// destructor finalizes at process exit.
+MpiEnv& mpi_env() {
+  static MpiEnv env;
+  return env;
+}
+
 }  // namespace
 
 bool MpiBackend::compiled_with_mpi() { return true; }
 
+int MpiBackend::mpi_world_size() {
+  mpi_env();
+  int size = 0;
+  MPI_Comm_size(MPI_COMM_WORLD, &size);
+  return size;
+}
+
 MpiBackend::MpiBackend(int nranks)
     : nranks_(nranks), impl_(std::make_unique<Impl>()) {
   OP2CA_REQUIRE(nranks > 0, "MpiBackend requires at least one rank");
-  int initialized = 0;
-  MPI_Initialized(&initialized);
-  if (!initialized) {
-    int provided = 0;
-    MPI_Init_thread(nullptr, nullptr, MPI_THREAD_SERIALIZED, &provided);
-    OP2CA_REQUIRE(provided >= MPI_THREAD_SERIALIZED,
-                  "MPI library cannot provide MPI_THREAD_SERIALIZED");
-    impl_->we_initialized = true;
-  }
+  mpi_env();
   int size = 0, rank = 0;
   MPI_Comm_size(MPI_COMM_WORLD, &size);
   MPI_Comm_rank(MPI_COMM_WORLD, &rank);
@@ -60,7 +124,8 @@ MpiBackend::MpiBackend(int nranks)
                 "MpiBackend: World has " + std::to_string(nranks) +
                     " ranks but MPI_COMM_WORLD has " +
                     std::to_string(size) +
-                    " processes; launch one process per rank");
+                    " processes; launch one process per rank (e.g. "
+                    "mpirun -np " + std::to_string(nranks) + ")");
   local_rank_ = static_cast<rank_t>(rank);
 }
 
@@ -69,11 +134,6 @@ MpiBackend::~MpiBackend() {
   for (auto& [req, buf] : impl_->pending)
     MPI_Wait(&req, MPI_STATUS_IGNORE);
   impl_->pending.clear();
-  if (impl_->we_initialized) {
-    int finalized = 0;
-    MPI_Finalized(&finalized);
-    if (!finalized) MPI_Finalize();
-  }
 }
 
 const char* MpiBackend::name() const { return "mpi"; }
@@ -175,6 +235,8 @@ tag_t mpi_tag(tag_t tag) { return tag + kMpiTagShift; }
 }  // namespace
 
 bool MpiBackend::compiled_with_mpi() { return false; }
+
+int MpiBackend::mpi_world_size() { return 1; }
 
 MpiBackend::MpiBackend(int nranks)
     : nranks_(nranks), impl_(std::make_unique<Impl>(nranks)) {}

@@ -16,6 +16,14 @@
 // in-process mailbox fabric, so the MPI code path's framing is exercised
 // by the regular test suite — the equivalence suite runs sim-vs-MPI-stub
 // rows — and the build stays green on MPI-less hosts and CI legs.
+//
+// Lifecycle: MPI_Init_thread / MPI_Finalize are owned by one process-wide
+// guard (first MpiBackend or mpi_world_size() call initializes, a single
+// finalize runs at process exit), so test binaries that build several
+// Worlds in sequence neither double-init nor finalize under a live
+// sibling. A thread level below MPI_THREAD_SERIALIZED fails loudly:
+// taskgraph pack workers post sends concurrently under one mutex, which
+// SERIALIZED permits but SINGLE/FUNNELED do not.
 #pragma once
 
 #include "op2ca/comm/transport.hpp"
@@ -30,11 +38,25 @@ public:
   /// True when compiled against a real MPI (OP2CA_HAVE_MPI).
   static bool compiled_with_mpi();
 
+  /// True when this process was started by an MPI launcher (mpirun /
+  /// mpiexec / srun), detected from the launcher's environment without
+  /// touching MPI itself — usable from stub builds and before any
+  /// backend exists. Sim-only test suites use this to GTEST_SKIP under a
+  /// real MPI launch instead of running duplicated on every process.
+  static bool launched_under_mpirun();
+
+  /// MPI_COMM_WORLD size of this process. Initializes MPI on first call
+  /// (idempotent; see the lifecycle notes below). Returns 1 in the stub.
+  /// Callers size their World's nranks with this so the partitioning
+  /// matches the launch width.
+  static int mpi_world_size();
+
   const char* name() const override;
   int size() const override { return nranks_; }
 
   /// The single rank this process drives under real MPI; -1 in the stub
-  /// (every rank is local, as in the sim backend).
+  /// (every rank is local, as in the sim backend). World switches into
+  /// process-per-rank SPMD mode when this is >= 0.
   rank_t local_rank() const { return local_rank_; }
 
   void post(Message msg) override;

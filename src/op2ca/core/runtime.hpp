@@ -416,7 +416,21 @@ public:
   /// Runs `spmd` once on every rank (one thread per rank). May be called
   /// repeatedly; dat values persist between runs. Exceptions thrown by
   /// any rank are collected and rethrown on the calling thread.
+  ///
+  /// Process-per-rank SPMD mode: when the transport is the real MPI
+  /// backend (launched under mpirun with -DOP2CA_MPI=ON), each MPI
+  /// process drives exactly one rank — run executes only the local
+  /// rank's SPMD function inline on the calling thread (no rank
+  /// threads), and fetch_dat / loop_metrics / chain_metrics /
+  /// write_metrics_csv become collective calls that reduce over the
+  /// backend so every process sees the same merged result the threaded
+  /// World reports. nranks must equal MPI_COMM_WORLD's size (the
+  /// MpiBackend constructor errors loudly otherwise).
   void run(const std::function<void(Runtime&)>& spmd);
+
+  /// The one rank this process drives in process-per-rank SPMD mode;
+  /// -1 when every rank is in-process (sim fabric, mpi-stub).
+  rank_t spmd_rank() const { return spmd_rank_; }
 
   /// Gathers the owned values of a dat into global element order.
   std::vector<double> fetch_dat(mesh::dat_id d) const;
@@ -442,13 +456,24 @@ private:
   friend class Runtime;
   friend struct detail::RankState;
 
+  /// The Comm of the rank this process drives (SPMD mode) — the channel
+  /// the cross-process reductions in fetch_dat / metrics run over.
+  sim::Comm& spmd_comm() const;
+  /// Merges this process's local metric maps, then (SPMD mode) the
+  /// serialized maps of every peer process, in rank order.
+  std::map<std::string, LoopMetrics> merged_metrics(
+      bool chains) const;
+
   mesh::MeshDef mesh_;
   WorldConfig cfg_;
   partition::Partition part_;
   halo::HaloPlan plan_;
   halo::ReorderResult reorder_;
   std::unique_ptr<sim::TransportBackend> transport_;
+  /// One state per rank in-process; in SPMD mode only ranks_[spmd_rank_]
+  /// is non-null (this process owns exactly one rank's data).
   std::vector<std::unique_ptr<detail::RankState>> ranks_;
+  rank_t spmd_rank_ = -1;
 };
 
 }  // namespace op2ca::core

@@ -1,8 +1,11 @@
+#include <cstring>
 #include <exception>
 #include <ostream>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 
+#include "op2ca/comm/mpi_backend.hpp"
 #include "op2ca/core/runtime_detail.hpp"
 #include "op2ca/halo/renumber.hpp"
 #include "op2ca/util/error.hpp"
@@ -41,10 +44,20 @@ World::World(mesh::MeshDef mesh, WorldConfig cfg)
   reorder_ = halo::apply_reorder(mesh_, cfg_.reorder, &plan_);
 
   transport_ = sim::make_backend(cfg_.transport, cfg_.nranks);
-  ranks_.reserve(static_cast<std::size_t>(cfg_.nranks));
+
+  // Process-per-rank SPMD mode: under a real MPI the backend pins this
+  // process to one rank; only that rank's state (dats, plans, pools)
+  // exists here — peer ranks live in peer processes. The partition and
+  // halo plan above are deterministic functions of the mesh and config,
+  // so every process derives the identical global plan and disagreement
+  // is impossible by construction.
+  if (auto* mpi = dynamic_cast<sim::MpiBackend*>(transport_.get()))
+    spmd_rank_ = mpi->local_rank();
+  ranks_.resize(static_cast<std::size_t>(cfg_.nranks));
   for (rank_t r = 0; r < cfg_.nranks; ++r)
-    ranks_.push_back(
-        std::make_unique<detail::RankState>(this, *transport_, r));
+    if (spmd_rank_ < 0 || r == spmd_rank_)
+      ranks_[static_cast<std::size_t>(r)] =
+          std::make_unique<detail::RankState>(this, *transport_, r);
 }
 
 World::~World() = default;
@@ -68,7 +81,13 @@ void World::run(const std::function<void(Runtime&)>& spmd) {
     }
   };
 
-  if (cfg_.nranks == 1) {
+  if (spmd_rank_ >= 0) {
+    // One process, one rank: run inline. A peer process that fails exits
+    // non-zero and the MPI launcher tears the job down; poison() above
+    // only unblocks threads of THIS process, so the local error still
+    // surfaces promptly below.
+    rank_main(ranks_[static_cast<std::size_t>(spmd_rank_)].get());
+  } else if (cfg_.nranks == 1) {
     rank_main(ranks_[0].get());
   } else {
     std::vector<std::thread> threads;
@@ -87,16 +106,28 @@ void World::run(const std::function<void(Runtime&)>& spmd) {
   }
 }
 
+sim::Comm& World::spmd_comm() const {
+  OP2CA_ASSERT(spmd_rank_ >= 0, "spmd_comm outside SPMD mode");
+  return ranks_[static_cast<std::size_t>(spmd_rank_)]->comm;
+}
+
 std::vector<double> World::fetch_dat(mesh::dat_id d) const {
   const mesh::DatDef& dd = mesh_.dat(d);
   std::vector<double> out(static_cast<std::size_t>(
       mesh_.set(dd.set).size * dd.dim));
   for (const auto& state : ranks_) {
+    if (!state) continue;  // SPMD mode: peer ranks live in peer processes.
     const halo::SetLayout& lay =
         plan_.layout(state->rank, dd.set);
     const detail::RankDat& rd = state->dats[static_cast<std::size_t>(d)];
     halo::scatter_owned(rd.data.data(), lay, rd.layout, &out);
   }
+  // SPMD mode: each process scattered only its owned slots into a
+  // zero-initialized array, and every global element is owned by exactly
+  // one rank, so an element-wise sum reassembles the full array bitwise
+  // on every process. Collective — all processes must call fetch_dat in
+  // the same order (they do: SPMD programs run the same code).
+  if (spmd_rank_ >= 0) out = spmd_comm().allreduce_sum(std::move(out));
   return out;
 }
 
@@ -105,23 +136,86 @@ void World::reset_dat(mesh::dat_id d, const std::vector<double>& global) {
   OP2CA_REQUIRE(static_cast<gidx_t>(global.size()) ==
                     mesh_.set(dd.set).size * dd.dim,
                 "reset_dat: size mismatch for dat " + dd.name);
-  for (auto& state : ranks_) state->refresh_dat_from_global(d, global);
+  // SPMD mode needs no exchange: the caller's global array is replicated
+  // (every process runs the same program), so each refreshes its rank.
+  for (auto& state : ranks_)
+    if (state) state->refresh_dat_from_global(d, global);
+}
+
+namespace {
+
+// LoopMetrics is a flat struct of scalars; the wire format for the SPMD
+// cross-process merge is simply [u32 name length | name | raw struct]
+// per map entry. Every process runs the same binary, so the raw layout
+// matches by construction.
+ByteBuf serialize_metrics(const std::map<std::string, LoopMetrics>& m) {
+  static_assert(std::is_trivially_copyable_v<LoopMetrics>,
+                "LoopMetrics must stay flat for the SPMD metrics wire");
+  std::size_t total = 0;
+  for (const auto& [name, lm] : m)
+    total += sizeof(std::uint32_t) + name.size() + sizeof(LoopMetrics);
+  ByteBuf out(total);
+  std::size_t off = 0;
+  for (const auto& [name, lm] : m) {
+    const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+    std::memcpy(out.data() + off, &len, sizeof(len));
+    off += sizeof(len);
+    std::memcpy(out.data() + off, name.data(), name.size());
+    off += name.size();
+    std::memcpy(out.data() + off, &lm, sizeof(LoopMetrics));
+    off += sizeof(LoopMetrics);
+  }
+  return out;
+}
+
+void merge_serialized_metrics(const ByteBuf& blob,
+                              std::map<std::string, LoopMetrics>* into) {
+  std::size_t off = 0;
+  while (off < blob.size()) {
+    OP2CA_ASSERT(off + sizeof(std::uint32_t) <= blob.size(),
+                 "metrics blob truncated");
+    std::uint32_t len = 0;
+    std::memcpy(&len, blob.data() + off, sizeof(len));
+    off += sizeof(len);
+    OP2CA_ASSERT(off + len + sizeof(LoopMetrics) <= blob.size(),
+                 "metrics blob truncated");
+    std::string name(reinterpret_cast<const char*>(blob.data() + off), len);
+    off += len;
+    LoopMetrics lm;
+    std::memcpy(&lm, blob.data() + off, sizeof(LoopMetrics));
+    off += sizeof(LoopMetrics);
+    (*into)[name].merge_from(lm);
+  }
+}
+
+}  // namespace
+
+std::map<std::string, LoopMetrics> World::merged_metrics(bool chains) const {
+  std::map<std::string, LoopMetrics> merged;
+  for (const auto& state : ranks_) {
+    if (!state) continue;
+    const auto& src = chains ? state->chain_metrics : state->loop_metrics;
+    for (const auto& [name, m] : src) merged[name].merge_from(m);
+  }
+  if (spmd_rank_ >= 0) {
+    // Collective: exchange each process's single-rank merge and fold the
+    // peers' in rank order, so every process reports the same totals the
+    // threaded World would.
+    const std::vector<ByteBuf> all =
+        spmd_comm().allgather_bytes(serialize_metrics(merged));
+    std::map<std::string, LoopMetrics> global;
+    for (const ByteBuf& blob : all) merge_serialized_metrics(blob, &global);
+    return global;
+  }
+  return merged;
 }
 
 std::map<std::string, LoopMetrics> World::loop_metrics() const {
-  std::map<std::string, LoopMetrics> merged;
-  for (const auto& state : ranks_)
-    for (const auto& [name, m] : state->loop_metrics)
-      merged[name].merge_from(m);
-  return merged;
+  return merged_metrics(/*chains=*/false);
 }
 
 std::map<std::string, LoopMetrics> World::chain_metrics() const {
-  std::map<std::string, LoopMetrics> merged;
-  for (const auto& state : ranks_)
-    for (const auto& [name, m] : state->chain_metrics)
-      merged[name].merge_from(m);
-  return merged;
+  return merged_metrics(/*chains=*/true);
 }
 
 void World::write_metrics_csv(std::ostream& os) const {
@@ -161,6 +255,7 @@ void World::write_metrics_csv(std::ostream& os) const {
 
 void World::clear_metrics() {
   for (auto& state : ranks_) {
+    if (!state) continue;
     state->loop_metrics.clear();
     state->chain_metrics.clear();
   }

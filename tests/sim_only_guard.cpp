@@ -1,0 +1,31 @@
+// Global guard linked into every sim-only test binary (all suites except
+// test_mpirun — see tests/CMakeLists.txt).
+//
+// Under `mpirun -np N ctest`, every test binary would otherwise run N
+// duplicated copies, and any test that builds a multi-rank World on the
+// real MPI backend would fail (one process drives one rank there, and
+// nranks != communicator size errors loudly). The sim fabric and the MPI
+// stub need no launcher, so those suites simply skip when the binary was
+// (a) built against real MPI and (b) started by an MPI launcher; ctest
+// still reports them, as skipped, and the mpirun-labelled tests carry
+// the under-launcher coverage.
+#include <gtest/gtest.h>
+
+#include "op2ca/comm/mpi_backend.hpp"
+
+namespace {
+
+class SimOnlyGuard : public ::testing::Environment {
+public:
+  void SetUp() override {
+    if (op2ca::sim::MpiBackend::compiled_with_mpi() &&
+        op2ca::sim::MpiBackend::launched_under_mpirun())
+      GTEST_SKIP() << "sim-only suite: skipped under an MPI launcher "
+                      "(run the mpirun-labelled tests instead)";
+  }
+};
+
+const auto* const g_sim_only_guard =
+    ::testing::AddGlobalTestEnvironment(new SimOnlyGuard);
+
+}  // namespace

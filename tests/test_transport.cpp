@@ -529,5 +529,86 @@ TEST(Backends, MpiStubCarriesFullProtocol) {
   });
 }
 
+// ---- calibration-file loader (BENCH_calibration.json round-trip) ----
+
+std::string calibration_json(const std::string& net_lat = "5e-6",
+                             const std::string& net_bw = "10e9",
+                             const std::string& net_rails = "2") {
+  return std::string("{\n"
+                     "  \"backend\": \"sim\", \"nranks\": 4, \"iters\": 16,\n"
+                     "  \"tiers\": {\n"
+                     "    \"numa\": {\"latency_s\": 5e-7, "
+                     "\"bandwidth_Bps\": 4e10, \"rails\": 1},\n"
+                     "    \"node\": {\"latency_s\": 1e-6, "
+                     "\"bandwidth_Bps\": 2e10, \"rails\": 1},\n"
+                     "    \"net\": {\"latency_s\": ") +
+         net_lat + ", \"bandwidth_Bps\": " + net_bw +
+         ", \"rails\": " + net_rails + "}\n  }\n}\n";
+}
+
+TEST(Calibration, ParsesBenchCalibrateSchema) {
+  const Calibration cal = parse_calibration(calibration_json());
+  EXPECT_EQ(cal.backend, "sim");
+  EXPECT_EQ(cal.nranks, 4);
+  EXPECT_DOUBLE_EQ(cal.tier(Tier::Numa).latency_s, 5e-7);
+  EXPECT_DOUBLE_EQ(cal.tier(Tier::Node).bandwidth_Bps, 2e10);
+  EXPECT_DOUBLE_EQ(cal.tier(Tier::Net).latency_s, 5e-6);
+  EXPECT_EQ(cal.tier(Tier::Net).rails, 2);
+  const TierParams node = TierParams::from_calibration(cal, Tier::Node);
+  EXPECT_DOUBLE_EQ(node.latency_s, 1e-6);
+}
+
+TEST(Calibration, AppliedModelUsesMeasuredTiers) {
+  const Calibration cal = parse_calibration(calibration_json());
+  CostModel cm;
+  cm.per_message_overhead_s = 4e-6;
+  cm.channel_overhead_s = 1e-6;
+  cm.pack_bandwidth_Bps = 21e9;
+  apply_calibration(cal, &cm);
+  // Net tier lands in the legacy flat fields every Eq (1)-(3) term reads.
+  EXPECT_DOUBLE_EQ(cm.latency_s, 5e-6);
+  EXPECT_DOUBLE_EQ(cm.bandwidth_Bps, 10e9);
+  EXPECT_EQ(cm.net_rails, 2);
+  EXPECT_DOUBLE_EQ(cm.numa.bandwidth_Bps, 4e10);
+  EXPECT_DOUBLE_EQ(cm.node.latency_s, 1e-6);
+  // Host-side overheads are not wire-measured and must survive.
+  EXPECT_DOUBLE_EQ(cm.per_message_overhead_s, 4e-6);
+  EXPECT_DOUBLE_EQ(cm.channel_overhead_s, 1e-6);
+  EXPECT_DOUBLE_EQ(cm.pack_bandwidth_Bps, 21e9);
+  EXPECT_NE(cm.name.find("calibrated(sim)"), std::string::npos);
+}
+
+TEST(Calibration, RejectsMissingTierOrField) {
+  EXPECT_THROW(parse_calibration("{\"backend\": \"sim\", \"nranks\": 2}"),
+               Error);
+  // Drop the node tier.
+  std::string text = calibration_json();
+  text.replace(text.find("\"node\""), 6, "\"nope\"");
+  EXPECT_THROW(parse_calibration(text), Error);
+  // Drop a field inside one tier.
+  text = calibration_json();
+  text.replace(text.find("\"bandwidth_Bps\""), 15, "\"bandwidth_xxx\"");
+  EXPECT_THROW(parse_calibration(text), Error);
+}
+
+TEST(Calibration, RejectsNonPositiveAndNonMonotoneTiers) {
+  // Net bandwidth above the node tier: monotonicity violation.
+  EXPECT_THROW(parse_calibration(calibration_json("5e-6", "3e10")), Error);
+  // Net latency below the node tier.
+  EXPECT_THROW(parse_calibration(calibration_json("5e-7", "10e9")), Error);
+  // Zero rails.
+  EXPECT_THROW(parse_calibration(calibration_json("5e-6", "10e9", "0")),
+               Error);
+  // Too-small world.
+  std::string text = calibration_json();
+  text.replace(text.find("\"nranks\": 4"), 11, "\"nranks\": 1");
+  EXPECT_THROW(parse_calibration(text), Error);
+}
+
+TEST(Calibration, LoadReportsUnreadablePath) {
+  EXPECT_THROW(load_calibration("/nonexistent/BENCH_calibration.json"),
+               Error);
+}
+
 }  // namespace
 }  // namespace op2ca::sim
