@@ -35,6 +35,16 @@
 //                  latency/bandwidth/rails replace the preset's guesses;
 //                  an explicit --rails still wins over the measured rail
 //                  count)
+//   --device       device-resident execution (WorldConfig::device for
+//                  executing benches; model benches replace the GPU
+//                  preset's extra_latency_s lump with the derived
+//                  Machine::DeviceTier Lambda)
+//   --device-mode=K  host<->device transfer schedule {staged,pipelined}
+//                  (pipelined overlaps PCIe with compute; default)
+//   --pipeline-stages=N  software-pipeline depth for pipelined mode
+//                  (default 3: H2D | compute | D2H)
+//   --device-staging=N  bytes per pinned staging buffer bounced through
+//                  the rank BufferPool (default 1 MiB)
 #pragma once
 
 #include <iostream>
@@ -48,6 +58,7 @@
 #include "op2ca/comm/transport.hpp"
 #include "op2ca/core/chain.hpp"
 #include "op2ca/core/runtime.hpp"
+#include "op2ca/gpu/device_space.hpp"
 #include "op2ca/halo/halo_plan.hpp"
 #include "op2ca/model/calibrate.hpp"
 #include "op2ca/model/components.hpp"
@@ -80,6 +91,10 @@ struct BenchConfig {
   bool persistent = false;
   std::string backend = "sim";
   std::string calibration;  ///< BENCH_calibration.json path; empty = presets.
+  bool device = false;
+  std::string device_mode = "pipelined";
+  int pipeline_stages = 3;
+  std::int64_t device_staging = 1 << 20;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -95,12 +110,22 @@ struct BenchConfig {
     cfg.persistent = opt.get_bool("persistent", false);
     cfg.backend = opt.get_string("backend", "sim");
     cfg.calibration = opt.get_string("calibration", "");
+    cfg.device = opt.get_bool("device", false);
+    cfg.device_mode = opt.get_string("device-mode", "pipelined");
+    cfg.pipeline_stages =
+        static_cast<int>(opt.get_int("pipeline-stages", 3));
+    cfg.device_staging = opt.get_int("device-staging", 1 << 20);
     sim::backend_by_name(cfg.backend);  // validate the name early
+    gpu::device_mode_by_name(cfg.device_mode);  // likewise
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
     OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
     OP2CA_REQUIRE(cfg.vector_width >= 0, "--vector-width must be >= 0");
     OP2CA_REQUIRE(cfg.rails >= 0 && cfg.rails <= sim::kMaxRails,
                   "--rails must be in [0, 8]");
+    OP2CA_REQUIRE(cfg.pipeline_stages >= 1,
+                  "--pipeline-stages must be >= 1");
+    OP2CA_REQUIRE(cfg.device_staging >= 4096,
+                  "--device-staging must be >= 4096");
     return cfg;
   }
 
@@ -119,6 +144,17 @@ struct BenchConfig {
     if (!calibration.empty())
       sim::apply_calibration(sim::load_calibration(calibration), &mach.net);
     if (rails > 0) mach.net.net_rails = rails;
+    if (device) {
+      // Replace the preset's hand-tuned extra_latency_s lump with the
+      // derived PCIe tier: an S-stage software pipeline exposes ~1/S of
+      // each transfer, a fully-staged schedule exposes all of it.
+      mach.device.enabled = true;
+      mach.device.overlap =
+          gpu::device_mode_by_name(device_mode) ==
+                  gpu::DeviceConfig::Mode::Pipelined
+              ? 1.0 - 1.0 / static_cast<double>(pipeline_stages)
+              : 0.0;
+    }
     return mach;
   }
 
@@ -140,12 +176,25 @@ struct BenchConfig {
     lc.aosoa_block = aosoa_block;
     return lc;
   }
+
+  /// Device knobs as a WorldConfig ingredient (benches that execute
+  /// loops rather than evaluate the model).
+  gpu::DeviceConfig device_config() const {
+    gpu::DeviceConfig dc;
+    dc.enabled = device;
+    dc.mode = gpu::device_mode_by_name(device_mode);
+    dc.pipeline_stages = pipeline_stages;
+    dc.staging_bytes = static_cast<std::size_t>(device_staging);
+    return dc;
+  }
 };
 
 inline std::set<std::string> standard_option_names() {
   return {"scale",      "csv",     "calibrate",  "threads",
           "layout",     "aosoa-block", "vector-width", "taskgraph",
-          "rails",      "persistent",  "backend",     "calibration"};
+          "rails",      "persistent",  "backend",     "calibration",
+          "device",     "device-mode", "pipeline-stages",
+          "device-staging"};
 }
 
 /// Paper mesh sizes by label.

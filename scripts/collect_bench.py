@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Aggregate every BENCH_*.json emitted by the bench binaries into one
+results/bench_all.json snapshot.
+
+The bench executables (bench_micro_kernels, bench_calibrate, ...) each
+write standalone BENCH_<section>.json files into the directory they run
+in. CI runs them in the repo root and then calls this script so the
+uploaded artifact — and the checked-in results/bench_all.json — carries
+one self-describing document instead of a loose file pile.
+
+Usage:
+    python3 scripts/collect_bench.py [--dir DIR] [--out FILE]
+
+DIR defaults to the current directory, OUT to results/bench_all.json
+under DIR. Exits non-zero if no BENCH_*.json is found (a CI run that
+produced nothing is a failed run) or if any file is unparseable.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def collect(src_dir: str) -> dict:
+    sections = {}
+    paths = sorted(glob.glob(os.path.join(src_dir, "BENCH_*.json")))
+    for path in paths:
+        name = os.path.basename(path)
+        # BENCH_gpu.json -> "gpu", BENCH_hotpath.json -> "hotpath", ...
+        key = name[len("BENCH_"):-len(".json")]
+        with open(path) as f:
+            try:
+                sections[key] = json.load(f)
+            except json.JSONDecodeError as e:
+                sys.exit(f"FAIL: {name} is not valid JSON: {e}")
+    if not sections:
+        sys.exit(f"FAIL: no BENCH_*.json found in {src_dir or '.'}")
+    return {"sections": sections, "files": [os.path.basename(p) for p in paths]}
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
+    ap.add_argument("--out", default=None,
+                    help="output path (default: <dir>/results/bench_all.json)")
+    args = ap.parse_args()
+
+    out = args.out or os.path.join(args.dir, "results", "bench_all.json")
+    merged = collect(args.dir)
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w") as f:
+        json.dump(merged, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"collected {len(merged['files'])} file(s) -> {out}: "
+          + ", ".join(merged["files"]))
+
+
+if __name__ == "__main__":
+    main()

@@ -16,8 +16,12 @@ RankState::RankState(World* w, sim::TransportBackend& transport, rank_t r)
   taskgraph = w->config().taskgraph && !serial_dispatch;
   // Taskgraph mode needs a pool even at width 1 so that the width-1 FIFO
   // graph path runs — keeping a single-thread taskgraph World bitwise
-  // equal to wider ones.
-  if ((w->config().threads_per_rank > 1 || taskgraph) && !serial_dispatch)
+  // equal to wider ones. Device mode needs one for the same reason: the
+  // hierarchical sweep dispatches blocks through the pool at any width,
+  // so a width-1 device World is bitwise equal to wider ones.
+  if ((w->config().threads_per_rank > 1 || taskgraph ||
+       w->config().device.enabled) &&
+      !serial_dispatch)
     pool = std::make_unique<util::ThreadPool>(w->config().threads_per_rank);
   // Blocked colouring rides with the locality layer: with reordering off
   // every dispatch path must stay bitwise-identical to earlier builds.
@@ -44,6 +48,16 @@ RankState::RankState(World* w, sim::TransportBackend& transport, rank_t r)
     // the plan holds starts in sync.
     rd.fresh_depth = world->plan().depth;
   }
+  if (w->config().device.enabled) {
+    device = std::make_unique<gpu::DeviceSpace>(w->config().device, &staging);
+    for (mesh::dat_id d = 0; d < mesh.num_dats(); ++d) {
+      RankDat& rd = dats[static_cast<std::size_t>(d)];
+      device->bind(d, rd.data.data(), rd.data.size());
+      // The gather above was a host-side write: the first epoch uploads
+      // every dat, then steady-state epochs move nothing redundant.
+      device->host_wrote(d);
+    }
+  }
 }
 
 const halo::RankPlan& RankState::rank_plan() const {
@@ -68,6 +82,10 @@ void RankState::refresh_dat_from_global(
   halo::gather_local(global_data, layout(dd.set), rd.layout,
                      rd.data.data());
   rd.fresh_depth = world->plan().depth;
+  if (device) {
+    device->rebind(d, rd.data.data(), rd.data.size());
+    device->host_wrote(d);
+  }
 }
 
 }  // namespace op2ca::core::detail

@@ -233,6 +233,52 @@ std::vector<mesh::ColourMapView> conflict_views(
   return views;
 }
 
+/// One outer-colour phase of the hierarchical device sweep: the phase's
+/// blocks spread across the pool ("one block per thread block"), each
+/// block executing its elements serially in block_order — inner-colour
+/// rounds in ascending order, the simulated shared-memory schedule.
+/// Blocks of one outer colour never conflict and every block stays on
+/// one thread, so results are a pure function of the schedule —
+/// bitwise-identical at every pool width.
+void sweep_hier_colour(RankState& st, const LoopRecord& rec,
+                       const gpu::HierColouring& h, const LIdxVec& blocks,
+                       lidx_t begin, lidx_t end) {
+  if (blocks.empty()) return;
+  util::ThreadPool& pool = *st.pool;
+  const lidx_t be = h.blocks.block_elems;
+  const std::vector<std::size_t> off =
+      chunk_offsets(blocks.size(), pool.threads());
+  std::vector<std::int64_t> regions(
+      static_cast<std::size_t>(pool.threads()), 0);
+  pool.run([&](int t) {
+    LIdxVec partial;  // scratch for blocks straddling the region edge
+    for (std::size_t j = off[static_cast<std::size_t>(t)];
+         j < off[static_cast<std::size_t>(t) + 1]; ++j) {
+      const lidx_t b = blocks[j];
+      const std::size_t lo = h.block_off[static_cast<std::size_t>(b)];
+      const std::size_t hi = h.block_off[static_cast<std::size_t>(b) + 1];
+      if (b * be >= begin &&
+          b * be + static_cast<lidx_t>(hi - lo) <= end) {
+        // Block fully inside [begin, end): its order slice runs as-is.
+        rec.list_body(h.block_order.data() + lo, hi - lo);
+      } else {
+        partial.clear();
+        for (std::size_t k = lo; k < hi; ++k) {
+          const lidx_t e = h.block_order[k];
+          if (e >= begin && e < end) partial.push_back(e);
+        }
+        if (partial.empty()) continue;
+        rec.list_body(partial.data(), partial.size());
+      }
+      ++regions[static_cast<std::size_t>(t)];
+    }
+  });
+  for (int t = 0; t < pool.threads(); ++t) {
+    st.dispatch_regions += regions[static_cast<std::size_t>(t)];
+    st.dispatch_chunks += regions[static_cast<std::size_t>(t)] > 0;
+  }
+}
+
 }  // namespace
 
 const mesh::Colouring& loop_colouring(RankState& st, const LoopRecord& rec) {
@@ -250,6 +296,29 @@ const mesh::Colouring& loop_colouring(RankState& st, const LoopRecord& rec) {
           ? mesh::block_colouring(lay.total, views, st.colour_block)
           : mesh::greedy_colouring(lay.total, views);
   return st.colourings.emplace(key, std::move(col)).first->second;
+}
+
+const gpu::HierColouring& loop_hier(RankState& st, const LoopRecord& rec) {
+  const std::vector<mesh::map_id> maps = conflict_maps(rec);
+  const auto key = std::make_pair(rec.set, maps);
+  auto it = st.hier_colourings.find(key);
+  if (it != st.hier_colourings.end()) return it->second;
+
+  const halo::SetLayout& lay = st.layout(rec.set);
+  LIdxVec identity;
+  const std::vector<mesh::ColourMapView> views =
+      conflict_views(st, rec.set, maps, identity);
+  const gpu::DeviceConfig& dc = st.world->config().device;
+  // The shared-memory clamp sizes a block's staging footprint by the
+  // widest dat row the mesh declares — conservative, and independent of
+  // the particular loop so the (set, maps) cache key stays sufficient.
+  int max_dim = 1;
+  const mesh::MeshDef& mesh = st.world->mesh();
+  for (mesh::dat_id d = 0; d < mesh.num_dats(); ++d)
+    max_dim = std::max(max_dim, mesh.dat(d).dim);
+  gpu::HierColouring h = gpu::hierarchical_colouring(
+      lay.total, views, dc.block_elems, dc.shared_bytes, max_dim);
+  return st.hier_colourings.emplace(key, std::move(h)).first->second;
 }
 
 LoopGraph& loop_graph(RankState& st, const LoopRecord& rec) {
@@ -499,9 +568,10 @@ std::int64_t run_graph_epoch(RankState& st, const LoopRecord& rec,
 std::int64_t run_range_tasks(RankState& st, const LoopRecord& rec,
                              lidx_t begin, lidx_t end,
                              std::span<PackTask> packs) {
-  const bool graph = st.taskgraph && st.pool != nullptr &&
-                     !has_gbl_inc(rec) && rec.spec.has_indirect_write() &&
-                     end > begin;
+  const bool graph =
+      st.taskgraph && st.pool != nullptr &&
+      !(st.device != nullptr && st.device->config().hierarchical) &&
+      !has_gbl_inc(rec) && rec.spec.has_indirect_write() && end > begin;
   if (!graph) {
     // Legacy order: stage first, then run the region — packs read
     // pre-loop values either way.
@@ -528,6 +598,32 @@ std::int64_t run_range(RankState& st, const LoopRecord& rec, lidx_t begin,
   }
   if (!rec.spec.has_indirect_write())
     return run_range_chunked(st, rec, begin, end);
+
+  // Hierarchical device sweep (device mode): outer colours execute in
+  // ascending order with a phase barrier; each phase launches its blocks
+  // across the pool, every block running its inner-colour rounds
+  // serially. Wins over taskgraph — the device schedule is the point of
+  // device mode.
+  if (st.device != nullptr && st.device->config().hierarchical) {
+    const gpu::HierColouring& h = loop_hier(st, rec);
+    st.dispatch_max_colours =
+        std::max(st.dispatch_max_colours, h.blocks.num_colours);
+    const lidx_t be = h.blocks.block_elems;
+    LIdxVec phase;
+    for (const LIdxVec& blocks : h.colour_blocks) {
+      phase.clear();
+      for (lidx_t b : blocks)
+        if (b * be < end &&
+            static_cast<lidx_t>(h.block_off[static_cast<std::size_t>(b) + 1]) >
+                static_cast<lidx_t>(h.block_off[static_cast<std::size_t>(b)]) &&
+            b * be + static_cast<lidx_t>(
+                         h.block_off[static_cast<std::size_t>(b) + 1] -
+                         h.block_off[static_cast<std::size_t>(b)]) > begin)
+          phase.push_back(b);
+      sweep_hier_colour(st, rec, h, phase, begin, end);
+    }
+    return end - begin;
+  }
 
   // Dependency-driven block sweep (taskgraph mode): the conflict DAG, not
   // a per-colour barrier, orders conflicting blocks.

@@ -164,6 +164,24 @@ void execute_chain_ca(RankState& st, const std::string& name,
     if (st.rank_dat(an.syncs[i].dat).fresh_depth < an.syncs[i].depth)
       mask |= std::uint64_t{1} << i;
 
+  // Device epoch: upload every mirror any loop of the chain touches (the
+  // pipelined policy skips valid ones — in steady state the chain's only
+  // PCIe traffic is the grouped halo staging below).
+  gpu::DeviceSpace* dev = st.device.get();
+  gpu::DeviceStats dev_before;
+  if (dev != nullptr) {
+    dev->begin_epoch();
+    dev_before = dev->stats();
+    std::vector<mesh::dat_id> touched;
+    for (const auto& rec : loops)
+      for (const auto& [dat, m] : merge_loop_accesses(rec.spec))
+        touched.push_back(dat);
+    std::sort(touched.begin(), touched.end());
+    touched.erase(std::unique(touched.begin(), touched.end()),
+                  touched.end());
+    for (mesh::dat_id d : touched) dev->to_device(d);
+  }
+
   ChainExchange* ex = nullptr;
   std::int64_t halo_elems = 0;
   std::vector<PackTask> packs;
@@ -191,6 +209,9 @@ void execute_chain_ca(RankState& st, const std::string& name,
         if (side.send_bytes > 0) {
           for (const LIdxVec& g : side.gather)
             halo_elems += static_cast<std::int64_t>(g.size());
+          // Device-side grouped pack: metered on the rank thread even
+          // though the pack body may run on a worker.
+          if (dev != nullptr) dev->stage_out(side.send_bytes);
           sim::Request* out = &ex->requests[slot++];
           PackTask p;
           for (std::size_t i = 0; i < ex->dats.size(); ++i)
@@ -228,6 +249,7 @@ void execute_chain_ca(RankState& st, const std::string& name,
           halo::pack_grouped(side, ex->specs, buf.data(), st.pool.get());
           for (const LIdxVec& g : side.gather)
             halo_elems += static_cast<std::int64_t>(g.size());
+          if (dev != nullptr) dev->stage_out(side.send_bytes);
           ex->requests.push_back(
               !ex->send_channels.empty()
                   ? st.comm.channel_isend(ex->send_channels[s],
@@ -273,6 +295,7 @@ void execute_chain_ca(RankState& st, const std::string& name,
       if (ex->plan.sides[s].recv_bytes == 0) continue;
       halo::unpack_grouped(ex->plan.sides[s], ex->specs, ex->recv_bufs[s],
                            st.pool.get());
+      if (dev != nullptr) dev->stage_in(ex->plan.sides[s].recv_bytes);
       st.staging.release(std::move(ex->recv_bufs[s]));
     }
     for (std::size_t i = 0; i < ex->dats.size(); ++i) {
@@ -289,6 +312,19 @@ void execute_chain_ca(RankState& st, const std::string& name,
     halo_iters +=
         run_range(st, loops[l], lay.core_count(an.shrink[l]), lay.num_owned);
     halo_iters += run_list(st, loops[l], cp.exec_lists[l]);
+  }
+
+  const double t_halo = timer.elapsed();
+
+  // Close the device epoch: written mirrors turn DeviceFresh and the
+  // ledger charges the chain's (transfers, kernel seconds) makespan.
+  double device_span = 0;
+  if (dev != nullptr) {
+    for (const auto& rec : loops)
+      for (const auto& [dat, m] : merge_loop_accesses(rec.spec))
+        if (writes(m.mode)) dev->device_wrote(dat);
+    device_span =
+        dev->end_epoch((t_core - t_pack) + (t_halo - t_unpack));
   }
 
   // -- Dirty bits. -------------------------------------------------------
@@ -340,6 +376,15 @@ void execute_chain_ca(RankState& st, const std::string& name,
   metrics.net_bytes =
       st.comm.stats().epoch_bytes_by_tier[static_cast<int>(sim::Tier::Net)];
   metrics.stripes = st.comm.stats().epoch_stripes;
+  if (dev != nullptr) {
+    const gpu::DeviceStats& ds = dev->stats();
+    metrics.h2d_bytes = ds.h2d_bytes - dev_before.h2d_bytes;
+    metrics.d2h_bytes = ds.d2h_bytes - dev_before.d2h_bytes;
+    metrics.device_transfers =
+        (ds.h2d_transfers - dev_before.h2d_transfers) +
+        (ds.d2h_transfers - dev_before.d2h_transfers);
+    metrics.device_seconds = device_span;
+  }
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;

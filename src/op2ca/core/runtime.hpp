@@ -24,6 +24,7 @@
 #include "op2ca/core/access.hpp"
 #include "op2ca/core/chain.hpp"
 #include "op2ca/core/chain_config.hpp"
+#include "op2ca/gpu/device_space.hpp"
 #include "op2ca/halo/halo_plan.hpp"
 #include "op2ca/halo/reorder.hpp"
 #include "op2ca/mesh/layout.hpp"
@@ -128,6 +129,17 @@ struct LoopMetrics {
   std::int64_t node_bytes = 0;
   std::int64_t net_bytes = 0;
   std::int64_t stripes = 0;
+  // Device executor (WorldConfig::device): PCIe bytes the epoch moved in
+  // each direction, metered transfers, and the modelled device-side
+  // makespan under the configured transfer policy (FullyStaged
+  // serialises H2D | compute | D2H, Pipelined overlaps them — the
+  // staged-vs-pipelined A/B in BENCH_gpu.json is the ratio of these).
+  // In a pipelined steady state h2d_bytes collapses to the halo staging
+  // traffic: the resident mirrors stop moving.
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  std::int64_t device_transfers = 0;
+  double device_seconds = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -392,6 +404,20 @@ struct WorldConfig {
   /// scheduling granularity). Clamped to >= 2; defaults match the
   /// locality layer's colour_block.
   lidx_t taskgraph_block = 256;
+  /// Device-resident execution (gpu/device_space): each rank's dat
+  /// arrays become the device side of an explicit host/device mirror,
+  /// halo staging is metered as D2H/H2D traffic, indirect-write loops
+  /// run the hierarchical two-level colouring of arXiv:1802.03749
+  /// (blocks coloured for inter-block conflicts, elements coloured
+  /// within a block through a simulated shared-memory staging buffer),
+  /// and every loop/chain epoch charges a staged or 3-stage-pipelined
+  /// PCIe makespan into LoopMetrics::device_seconds. Off by default —
+  /// the runtime is then bitwise-identical to the device-free build.
+  /// With it on, values still match the host executors: direct loops
+  /// bitwise, indirect-INC loops up to sum reassociation (the
+  /// hierarchical sweep is another iteration order) — asserted by the
+  /// equivalence suite.
+  gpu::DeviceConfig device{};
   ChainConfig chains{};
   /// Lazy evaluation (the paper's future-work automation): par_loops are
   /// queued instead of executed, and flushed as an automatically-formed

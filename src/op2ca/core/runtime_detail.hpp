@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "op2ca/core/runtime.hpp"
+#include "op2ca/gpu/device_space.hpp"
+#include "op2ca/gpu/hierarchy.hpp"
 #include "op2ca/halo/grouped.hpp"
 #include "op2ca/mesh/colouring.hpp"
 #include "op2ca/mesh/reorder.hpp"
@@ -183,6 +185,15 @@ struct RankState {
   /// earlier builds.
   lidx_t colour_block = 1;
 
+  // Device-resident execution (WorldConfig::device): the rank's mirror
+  // space (null when the device is off) and the hierarchical two-level
+  // schedule cache — one HierColouring per (set, conflict maps), the
+  // device analogue of `colourings`.
+  std::unique_ptr<gpu::DeviceSpace> device;
+  std::map<std::pair<mesh::set_id, std::vector<mesh::map_id>>,
+           gpu::HierColouring>
+      hier_colourings;
+
   /// Ordering-quality proxies per loop name (mesh::ordering_quality of
   /// the loop's widest indirection, computed once — it is O(iterations)
   /// and belongs to inspection, not the hot path).
@@ -263,6 +274,13 @@ LoopGraph& loop_graph(RankState& st, const LoopRecord& rec);
 /// in RankState::colourings. Exposed for the threaded-executor tests.
 /// Blocked (st.colour_block > 1, the locality layer) or per-element.
 const mesh::Colouring& loop_colouring(RankState& st, const LoopRecord& rec);
+
+/// The rank's cached hierarchical two-level schedule for `rec`'s
+/// conflict structure (device mode): outer block colouring plus
+/// per-block inner element colouring under the shared-memory clamp.
+/// Built on first use, cached in RankState::hier_colourings. Exposed for
+/// the device property tests.
+const gpu::HierColouring& loop_hier(RankState& st, const LoopRecord& rec);
 
 /// Ordering-quality proxies of the loop's widest indirect argument over
 /// the owned range (cached per loop name; zeros for direct loops).

@@ -120,7 +120,11 @@ std::vector<double> World::fetch_dat(mesh::dat_id d) const {
     const halo::SetLayout& lay =
         plan_.layout(state->rank, dd.set);
     const detail::RankDat& rd = state->dats[static_cast<std::size_t>(d)];
-    halo::scatter_owned(rd.data.data(), lay, rd.layout, &out);
+    // Device mode: the host-visible image is the downloaded shadow, not
+    // the device array — fetch_dat is the D2H synchronisation point.
+    const double* src =
+        state->device ? state->device->to_host(d) : rd.data.data();
+    halo::scatter_owned(src, lay, rd.layout, &out);
   }
   // SPMD mode: each process scattered only its owned slots into a
   // zero-initialized array, and every global element is owned by exactly
@@ -227,7 +231,8 @@ void World::write_metrics_csv(std::ostream& os) const {
                 "chunks", "colours", "busy_s", "tasks", "steals",
                 "dep_wait_s", "gather_span", "reuse_gap", "layout",
                 "bytes_per_elem", "numa_bytes", "node_bytes", "net_bytes",
-                "stripes"});
+                "stripes", "h2d_bytes", "d2h_bytes", "device_transfers",
+                "device_s"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -246,7 +251,9 @@ void World::write_metrics_csv(std::ostream& os) const {
                    ? static_cast<double>(m.bytes) /
                          static_cast<double>(m.halo_elems)
                    : 0.0,
-               m.numa_bytes, m.node_bytes, m.net_bytes, m.stripes});
+               m.numa_bytes, m.node_bytes, m.net_bytes, m.stripes,
+               m.h2d_bytes, m.d2h_bytes, m.device_transfers,
+               m.device_seconds});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

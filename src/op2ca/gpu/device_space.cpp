@@ -1,0 +1,250 @@
+#include "op2ca/gpu/device_space.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "op2ca/util/error.hpp"
+
+namespace op2ca::gpu {
+
+const char* device_mode_name(DeviceConfig::Mode m) {
+  switch (m) {
+    case DeviceConfig::Mode::FullyStaged: return "staged";
+    case DeviceConfig::Mode::Pipelined: return "pipelined";
+  }
+  return "?";
+}
+
+DeviceConfig::Mode device_mode_by_name(const std::string& name) {
+  if (name == "staged") return DeviceConfig::Mode::FullyStaged;
+  if (name == "pipelined") return DeviceConfig::Mode::Pipelined;
+  raise("unknown device mode: " + name + " (want staged|pipelined)");
+}
+
+DeviceSpace::DeviceSpace(DeviceConfig cfg, BufferPool* staging)
+    : cfg_(cfg), staging_(staging) {
+  OP2CA_REQUIRE(cfg_.enabled, "DeviceSpace built with device disabled");
+  OP2CA_REQUIRE(staging_ != nullptr, "DeviceSpace needs a BufferPool");
+  OP2CA_REQUIRE(cfg_.pipeline_stages >= 1,
+                "device.pipeline_stages must be >= 1");
+  OP2CA_REQUIRE(cfg_.staging_bytes >= sizeof(double),
+                "device.staging_bytes must hold at least one double");
+}
+
+DeviceSpace::Mirror& DeviceSpace::mirror(mesh::dat_id d) {
+  OP2CA_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < mirrors_.size() &&
+                    mirrors_[d].bound,
+                "DeviceSpace: dat not bound");
+  return mirrors_[d];
+}
+
+const DeviceSpace::Mirror& DeviceSpace::mirror(mesh::dat_id d) const {
+  OP2CA_REQUIRE(d >= 0 && static_cast<std::size_t>(d) < mirrors_.size() &&
+                    mirrors_[d].bound,
+                "DeviceSpace: dat not bound");
+  return mirrors_[d];
+}
+
+void DeviceSpace::bind(mesh::dat_id d, double* device, std::size_t doubles) {
+  OP2CA_REQUIRE(d >= 0, "DeviceSpace::bind: bad dat id");
+  if (static_cast<std::size_t>(d) >= mirrors_.size())
+    mirrors_.resize(static_cast<std::size_t>(d) + 1);
+  Mirror& m = mirrors_[d];
+  OP2CA_REQUIRE(!m.bound, "DeviceSpace::bind: dat already bound");
+  m.device = device;
+  m.doubles = doubles;
+  m.shadow.assign(doubles, 0.0);
+  m.state = State::InSync;
+  m.bound = true;
+  ++stats_.allocations;
+}
+
+void DeviceSpace::rebind(mesh::dat_id d, double* device,
+                         std::size_t doubles) {
+  Mirror& m = mirror(d);
+  m.device = device;
+  if (m.doubles != doubles) {
+    m.shadow.assign(doubles, 0.0);
+    m.doubles = doubles;
+    ++stats_.allocations;
+  }
+  m.state = State::InSync;
+}
+
+void DeviceSpace::host_wrote(mesh::dat_id d) {
+  Mirror& m = mirror(d);
+  // The producer wrote the (physically shared) device array in place;
+  // capture it as the host image and mark the device side stale so the
+  // next epoch's to_device meters the upload a discrete-memory port
+  // would issue.
+  bounce_copy(m.shadow.data(), m.device, m.doubles);
+  m.state = State::HostFresh;
+}
+
+void DeviceSpace::device_wrote(mesh::dat_id d) {
+  Mirror& m = mirror(d);
+  m.state = State::DeviceFresh;
+  if (in_epoch_) epoch_written_.push_back(d);
+}
+
+void DeviceSpace::to_device(mesh::dat_id d) {
+  Mirror& m = mirror(d);
+  const std::size_t bytes = m.doubles * sizeof(double);
+  if (m.state == State::HostFresh) {
+    bounce_copy(m.device, m.shadow.data(), m.doubles);
+    m.state = State::InSync;
+    count_h2d(bytes);
+    return;
+  }
+  // Device copy already current. The fully-staged policy re-moves it
+  // anyway — that redundancy is the A/B headroom the pipelined policy's
+  // validity tracking reclaims.
+  if (cfg_.mode == DeviceConfig::Mode::FullyStaged) {
+    count_h2d(bytes);
+    stats_.redundant_bytes += static_cast<std::int64_t>(bytes);
+  }
+}
+
+const double* DeviceSpace::to_host(mesh::dat_id d) {
+  Mirror& m = mirror(d);
+  if (m.state == State::DeviceFresh) {
+    bounce_copy(m.shadow.data(), m.device, m.doubles);
+    m.state = State::InSync;
+    count_d2h(m.doubles * sizeof(double));
+  }
+  return m.shadow.data();
+}
+
+bool DeviceSpace::device_valid(mesh::dat_id d) const {
+  return mirror(d).state != State::HostFresh;
+}
+
+bool DeviceSpace::host_valid(mesh::dat_id d) const {
+  return mirror(d).state != State::DeviceFresh;
+}
+
+const double* DeviceSpace::shadow(mesh::dat_id d) const {
+  return mirror(d).shadow.data();
+}
+
+void DeviceSpace::stage_out(std::size_t bytes) { count_d2h(bytes); }
+void DeviceSpace::stage_in(std::size_t bytes) { count_h2d(bytes); }
+
+void DeviceSpace::begin_epoch() {
+  epoch_h2d_bytes_ = 0;
+  epoch_d2h_bytes_ = 0;
+  epoch_h2d_transfers_ = 0;
+  epoch_d2h_transfers_ = 0;
+  epoch_written_.clear();
+  in_epoch_ = true;
+}
+
+double DeviceSpace::end_epoch(double compute_s) {
+  in_epoch_ = false;
+  // The host thread emulates the device; the model charges the kernel
+  // wall time scaled to the modelled device's compute throughput.
+  compute_s /= std::max(cfg_.compute_scale, 1e-12);
+  if (cfg_.mode == DeviceConfig::Mode::FullyStaged) {
+    // The naive port downloads every array the epoch wrote before the
+    // host touches anything — physically materialise that (keeping the
+    // shadows current) and meter it.
+    std::sort(epoch_written_.begin(), epoch_written_.end());
+    epoch_written_.erase(
+        std::unique(epoch_written_.begin(), epoch_written_.end()),
+        epoch_written_.end());
+    for (mesh::dat_id d : epoch_written_) to_host(d);
+  }
+  epoch_written_.clear();
+  // Per-transfer launch cost enters through the byte-independent latency
+  // term: charge it once per metered transfer on top of the byte time.
+  const double lat_h2d = cfg_.pcie.latency_s *
+                         static_cast<double>(epoch_h2d_transfers_);
+  const double lat_d2h = cfg_.pcie.latency_s *
+                         static_cast<double>(epoch_d2h_transfers_);
+  double span = 0;
+  if (cfg_.mode == DeviceConfig::Mode::FullyStaged) {
+    span = lat_h2d + lat_d2h +
+           staged_makespan(cfg_.pcie, epoch_h2d_bytes_, compute_s,
+                           epoch_d2h_bytes_);
+  } else {
+    // Overlap hides transfer latency behind compute, but each physical
+    // transfer's launch still serialises on its own stage's stream.
+    span = std::max(lat_h2d, lat_d2h) +
+           pipelined_makespan(cfg_.pcie, epoch_h2d_bytes_, compute_s,
+                              epoch_d2h_bytes_, cfg_.pipeline_stages);
+  }
+  clock_.advance(span);
+  stats_.modelled_seconds += span;
+  return span;
+}
+
+double DeviceSpace::staged_makespan(const PcieModel& pcie,
+                                    std::int64_t h2d_bytes, double compute_s,
+                                    std::int64_t d2h_bytes) {
+  return pcie.transfer_time(h2d_bytes) + compute_s +
+         pcie.transfer_time(d2h_bytes);
+}
+
+double DeviceSpace::pipelined_makespan(const PcieModel& pcie,
+                                       std::int64_t h2d_bytes,
+                                       double compute_s,
+                                       std::int64_t d2h_bytes, int stages) {
+  const int s = std::max(stages, 1);
+  // Software-pipeline the epoch over `s` colour-block partitions: the
+  // H2D of partition k overlaps the compute of k-1 and the D2H of k-2.
+  // Each stage's free time advances chunk by chunk; the makespan is the
+  // last download's completion.
+  const double h2d_chunk =
+      pcie.latency_s + static_cast<double>(h2d_bytes) / s / pcie.bandwidth_Bps;
+  const double comp_chunk = compute_s / s;
+  const double d2h_chunk =
+      pcie.latency_s + static_cast<double>(d2h_bytes) / s / pcie.bandwidth_Bps;
+  double h2d_free = 0, comp_free = 0, d2h_free = 0;
+  for (int k = 0; k < s; ++k) {
+    h2d_free += h2d_chunk;
+    comp_free = std::max(comp_free, h2d_free) + comp_chunk;
+    d2h_free = std::max(d2h_free, comp_free) + d2h_chunk;
+  }
+  return d2h_free;
+}
+
+void DeviceSpace::bounce_copy(double* dst, const double* src,
+                              std::size_t doubles) {
+  if (doubles == 0 || dst == src) return;
+  // Chunk the copy through the pinned-staging bounce arena: a real
+  // discrete device cannot DMA pageable memory, so every transfer moves
+  // host <-> pinned <-> device in staging_bytes pieces. The arena comes
+  // from the rank's BufferPool, so steady-state transfers recycle the
+  // same storage and allocate nothing.
+  const std::size_t chunk_doubles =
+      std::max<std::size_t>(cfg_.staging_bytes / sizeof(double), 1);
+  std::size_t off = 0;
+  while (off < doubles) {
+    const std::size_t n = std::min(chunk_doubles, doubles - off);
+    ByteBuf bounce = staging_->take(n * sizeof(double));
+    std::memcpy(bounce.data(), src + off, n * sizeof(double));
+    std::memcpy(dst + off, bounce.data(), n * sizeof(double));
+    staging_->release(std::move(bounce));
+    off += n;
+  }
+}
+
+void DeviceSpace::count_h2d(std::size_t bytes) {
+  ++stats_.h2d_transfers;
+  stats_.h2d_bytes += static_cast<std::int64_t>(bytes);
+  if (in_epoch_) {
+    ++epoch_h2d_transfers_;
+    epoch_h2d_bytes_ += static_cast<std::int64_t>(bytes);
+  }
+}
+
+void DeviceSpace::count_d2h(std::size_t bytes) {
+  ++stats_.d2h_transfers;
+  stats_.d2h_bytes += static_cast<std::int64_t>(bytes);
+  if (in_epoch_) {
+    ++epoch_d2h_transfers_;
+    epoch_d2h_bytes_ += static_cast<std::int64_t>(bytes);
+  }
+}
+
+}  // namespace op2ca::gpu

@@ -1,0 +1,205 @@
+// Device-resident execution substrate (the paper's GPU-cluster pillar).
+//
+// The runtime's CPU-emulated "device" keeps the RankDat arrays themselves
+// as device memory — kernels, colour sweeps and the grouped pack path all
+// already execute over rd.data, so making rd.data the device side costs
+// the hot paths nothing. What this module adds is everything around that
+// array that a real GPU port needs and the cost model charges for:
+//
+//   * a host SHADOW mirror per dat with explicit validity tracking
+//     (InSync / HostFresh / DeviceFresh). Host-side producers
+//     (gather_local, reset_dat) mark the mirror HostFresh; the next epoch
+//     uploads it once and steady-state epochs move zero redundant bytes —
+//     the multi-layer dirty-bit discipline of RankDat::fresh_depth,
+//     applied to the PCIe link instead of the wire.
+//   * metered H2D/D2H transfers: every copy routes through bounce buffers
+//     of `staging_bytes` drawn from the rank's BufferPool (the pinned
+//     staging arena of a real CUDA build — reusing the pool keeps
+//     steady-state transfers allocation-free) and charges a per-epoch
+//     byte ledger.
+//   * per-epoch makespan accounting under two transfer policies. A
+//     FullyStaged epoch re-uploads every accessed mirror, downloads every
+//     written one, and serialises H2D | compute | D2H — the naive port.
+//     A Pipelined epoch moves only invalid mirrors plus the halo staging
+//     bytes and overlaps the three stages over `pipeline_stages`
+//     colour-block partitions (classic 3-stage software pipeline). The
+//     modelled seconds accumulate on a VirtualClock and surface as
+//     LoopMetrics::device_seconds; the staged-vs-pipelined A/B in
+//     bench_micro_kernels gates their ratio.
+//
+// Off by default (DeviceConfig::enabled = false): no DeviceSpace is
+// constructed and every executor path is bitwise-identical to the
+// pre-device runtime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "op2ca/gpu/device.hpp"
+#include "op2ca/mesh/mesh_def.hpp"
+#include "op2ca/util/aligned.hpp"
+#include "op2ca/util/buffer_pool.hpp"
+#include "op2ca/util/timer.hpp"
+#include "op2ca/util/types.hpp"
+
+namespace op2ca::gpu {
+
+/// WorldConfig::device — the device-execution knobs.
+struct DeviceConfig {
+  /// Master switch. Off = no mirrors, no metering, no hierarchical
+  /// sweeps; the runtime is bitwise-identical to earlier builds.
+  bool enabled = false;
+  /// Transfer policy the epoch accounting charges (and physically
+  /// mirrors): FullyStaged re-moves every accessed array each epoch,
+  /// Pipelined respects validity and overlaps H2D | compute | D2H.
+  enum class Mode { FullyStaged, Pipelined };
+  Mode mode = Mode::Pipelined;
+  /// Colour-block partitions the pipelined policy overlaps across
+  /// (H2D of partition k runs under compute of k-1 and D2H of k-2).
+  int pipeline_stages = 3;
+  /// Hierarchical two-level colouring of indirect-write sweeps (blocks
+  /// coloured for inter-block conflicts, elements coloured within each
+  /// block; arXiv:1802.03749). Off = the flat colour-sweep paths.
+  bool hierarchical = true;
+  /// Elements per device block for the hierarchical sweep. Clamped down
+  /// until a block's unique indirect targets fit `shared_bytes`.
+  lidx_t block_elems = 128;
+  /// Simulated per-block shared memory (the staging buffer a block's
+  /// unique targets are gathered into; V100-class default).
+  std::size_t shared_bytes = std::size_t{48} * 1024;
+  /// Bounce-buffer size for host<->device copies (the pinned staging
+  /// arena, drawn from the rank's BufferPool).
+  std::size_t staging_bytes = std::size_t{1} << 20;
+  /// PCIe transfer cost parameters for the epoch makespans.
+  PcieModel pcie{};
+  /// Modelled device compute throughput relative to the emulating host
+  /// thread: the epoch makespan charges measured-kernel-wall / scale as
+  /// device compute time. 1 (default) = the host IS the device; a
+  /// V100-class accelerator runs these gather-bound sweeps an order of
+  /// magnitude faster than one CPU core while PCIe does not speed up —
+  /// the imbalance the staged-vs-pipelined A/B exists to expose.
+  double compute_scale = 1.0;
+};
+
+const char* device_mode_name(DeviceConfig::Mode m);
+/// Parses "staged" | "pipelined"; raises on anything else.
+DeviceConfig::Mode device_mode_by_name(const std::string& name);
+
+/// Lifetime counters of one rank's device space.
+struct DeviceStats {
+  std::int64_t h2d_transfers = 0;
+  std::int64_t d2h_transfers = 0;
+  std::int64_t h2d_bytes = 0;
+  std::int64_t d2h_bytes = 0;
+  /// Bytes FullyStaged re-moved although the mirror was already valid —
+  /// exactly what the validity tracking saves the pipelined policy.
+  std::int64_t redundant_bytes = 0;
+  /// Mirror allocations (one per bind; flat in steady state).
+  std::int64_t allocations = 0;
+  /// Modelled device-side seconds under the configured policy (the sum
+  /// of every epoch makespan charged to the virtual clock).
+  double modelled_seconds = 0;
+};
+
+/// One rank's device-resident dat mirrors plus the transfer ledger.
+class DeviceSpace {
+public:
+  /// `staging` is the rank's BufferPool; every host<->device copy
+  /// bounces through it in `staging_bytes` chunks.
+  DeviceSpace(DeviceConfig cfg, BufferPool* staging);
+
+  const DeviceConfig& config() const { return cfg_; }
+
+  /// Registers dat `d`: `device` is the RankDat array kernels execute
+  /// over (the device side of the mirror); a same-size host shadow is
+  /// allocated. Call host_wrote(d) after the initial gather so the
+  /// first epoch uploads the contents.
+  void bind(mesh::dat_id d, double* device, std::size_t doubles);
+  /// Re-points the device side after the RankDat storage was re-gathered
+  /// (World::reset_dat). Resizes the shadow if the extent changed.
+  void rebind(mesh::dat_id d, double* device, std::size_t doubles);
+
+  /// A host-side producer rewrote the device array in place (initial
+  /// gather_local / refresh_dat_from_global): capture the new contents
+  /// into the shadow and mark the device copy stale, so the next epoch's
+  /// to_device meters the upload a real port would issue.
+  void host_wrote(mesh::dat_id d);
+  /// A device kernel epoch wrote the dat: shadow is stale until to_host.
+  void device_wrote(mesh::dat_id d);
+
+  /// H2D: make the device copy current. Pipelined: no-op when the
+  /// mirror is valid (the zero-redundant-bytes steady state). Fully
+  /// staged: re-moves the whole mirror every call, counting the
+  /// redundant bytes.
+  void to_device(mesh::dat_id d);
+  /// D2H: make the host shadow current and return it. The shadow of a
+  /// DeviceFresh mirror is genuinely stale — fetch_dat must come through
+  /// here, which is what the validity property tests pin down.
+  const double* to_host(mesh::dat_id d);
+
+  bool device_valid(mesh::dat_id d) const;
+  bool host_valid(mesh::dat_id d) const;
+  /// The host shadow array (test access; contents only current after
+  /// to_host).
+  const double* shadow(mesh::dat_id d) const;
+
+  /// Device-side pack/unpack metering: export rows staged out of device
+  /// memory into transport staging (D2H) and received rows scattered
+  /// back (H2D). Counted into the current epoch's ledger.
+  void stage_out(std::size_t bytes);
+  void stage_in(std::size_t bytes);
+
+  /// Epoch bracket: begin resets the per-epoch ledger; end charges the
+  /// configured policy's makespan for (this epoch's transfers, the
+  /// executor-measured compute seconds) to the virtual clock and, under
+  /// FullyStaged, physically downloads every mirror the epoch wrote.
+  void begin_epoch();
+  /// Returns the epoch's modelled makespan in seconds.
+  double end_epoch(double compute_s);
+
+  const DeviceStats& stats() const { return stats_; }
+  double clock_seconds() const { return clock_.now(); }
+
+  /// The 3-stage overlapped makespan of one epoch: h2d/compute/d2h split
+  /// into `stages` partitions, stage k's upload under k-1's compute and
+  /// k-2's download. Exposed for the model tests.
+  static double pipelined_makespan(const PcieModel& pcie,
+                                   std::int64_t h2d_bytes, double compute_s,
+                                   std::int64_t d2h_bytes, int stages);
+  /// The serialised makespan: T(h2d) + compute + T(d2h).
+  static double staged_makespan(const PcieModel& pcie,
+                                std::int64_t h2d_bytes, double compute_s,
+                                std::int64_t d2h_bytes);
+
+private:
+  enum class State { InSync, HostFresh, DeviceFresh };
+  struct Mirror {
+    double* device = nullptr;
+    std::size_t doubles = 0;
+    util::AlignedDVec shadow;
+    State state = State::InSync;
+    bool bound = false;
+  };
+
+  Mirror& mirror(mesh::dat_id d);
+  const Mirror& mirror(mesh::dat_id d) const;
+  /// memcpy through BufferPool bounce buffers of cfg_.staging_bytes.
+  void bounce_copy(double* dst, const double* src, std::size_t doubles);
+  void count_h2d(std::size_t bytes);
+  void count_d2h(std::size_t bytes);
+
+  DeviceConfig cfg_;
+  BufferPool* staging_ = nullptr;
+  std::vector<Mirror> mirrors_;
+  std::vector<mesh::dat_id> epoch_written_;
+  std::int64_t epoch_h2d_bytes_ = 0;
+  std::int64_t epoch_d2h_bytes_ = 0;
+  std::int64_t epoch_h2d_transfers_ = 0;
+  std::int64_t epoch_d2h_transfers_ = 0;
+  bool in_epoch_ = false;
+  DeviceStats stats_;
+  VirtualClock clock_;
+};
+
+}  // namespace op2ca::gpu

@@ -15,6 +15,34 @@
 
 namespace op2ca::model {
 
+/// Explicit PCIe/launch tier for the GPU path. When `enabled`, the
+/// staged host<->device copies that bracket every halo exchange stop
+/// being a hand-tuned `extra_latency_s` lump and are instead *derived*:
+/// each exchange pays one D2H (export rows) and one H2D (import rows)
+/// round-trip plus two kernel launches (pack + unpack). Pipelining
+/// overlaps a fraction `overlap` of the PCIe term with compute, so the
+/// exposed share enters the effective latency Lambda (Section 3.3) as
+///
+///   Lambda = L + 2*launch + 2*(1 - overlap)*pcie_latency
+///
+/// and the PCIe bus composes in series with the NIC on the bandwidth
+/// term (the bytes cross both), attenuated by the same overlap factor.
+struct DeviceTier {
+  bool enabled = false;
+  double pcie_latency_s = 8.0e-6;    ///< per-transfer DMA setup cost.
+  double pcie_bandwidth_Bps = 12e9;  ///< PCIe gen3 x16 effective.
+  double kernel_launch_s = 5.0e-6;   ///< pack/unpack kernel launch.
+  /// Fraction of the PCIe transfer hidden behind compute (0 = fully
+  /// staged, matches the legacy extra_latency_s regime; ~0.8 = the
+  /// 3-stage pipelined executor).
+  double overlap = 0.0;
+  /// Exposed extra latency per exchange under this tier.
+  double lambda_extra_s() const {
+    return 2.0 * kernel_launch_s +
+           2.0 * (1.0 - overlap) * pcie_latency_s;
+  }
+};
+
 struct Machine {
   std::string name;
   sim::CostModel net;  ///< L (latency) and B (bandwidth) of Eqs (1)-(3).
@@ -61,10 +89,14 @@ struct Machine {
   double vector_width = 1.0;
   /// GPU path: the staged PCIe copies and kernel-launch overheads enter
   /// the model as a larger effective latency Lambda (Section 3.3).
+  /// With `device.enabled` the extra term is derived from the PCIe tier
+  /// (and extra_latency_s is ignored); otherwise the legacy lump is used.
   double effective_latency() const {
-    return net.latency_s + extra_latency_s;
+    return net.latency_s +
+           (device.enabled ? device.lambda_extra_s() : extra_latency_s);
   }
   double extra_latency_s = 0.0;
+  DeviceTier device;
   /// Multi-rail striping threshold (mirrors TransportConfig): messages
   /// at or above this stripe across net.net_rails parallel links, which
   /// enters Eq (1)/(3) as an effective bandwidth B * rails on the m/B
@@ -78,7 +110,13 @@ struct Machine {
   double effective_bandwidth(std::size_t bytes) const {
     const bool striped =
         net.net_rails > 1 && bytes >= stripe_min_bytes;
-    return net.bandwidth_Bps * (striped ? net.net_rails : 1);
+    const double wire = net.bandwidth_Bps * (striped ? net.net_rails : 1);
+    if (!device.enabled) return wire;
+    // Halo bytes cross PCIe twice (D2H at the sender, H2D at the
+    // receiver) in series with the wire; overlap hides that share.
+    const double pcie_exposed =
+        2.0 * (1.0 - device.overlap) / device.pcie_bandwidth_Bps;
+    return 1.0 / (1.0 / wire + pcie_exposed);
   }
 };
 

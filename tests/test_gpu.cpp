@@ -1,9 +1,18 @@
-// GPU simulation tests: device buffers, metered staging copies and the
-// pipeline-overlap model of Section 3.3.
+// GPU simulation tests: device buffers, metered staging copies, the
+// pipeline-overlap model of Section 3.3, the DeviceSpace mirror/validity
+// substrate and the hierarchical two-level colouring of the device
+// executor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
 #include "op2ca/gpu/device.hpp"
+#include "op2ca/gpu/device_space.hpp"
+#include "op2ca/gpu/hierarchy.hpp"
 #include "op2ca/gpu/pipeline.hpp"
+#include "op2ca/util/buffer_pool.hpp"
 #include "op2ca/util/error.hpp"
 
 namespace op2ca::gpu {
@@ -87,6 +96,310 @@ TEST(Pipeline, EmptyTransfersIsComputeOnly) {
   cfg.compute_s = 5e-4;
   EXPECT_DOUBLE_EQ(staged_pipeline_makespan(cfg, {}), 5e-4);
   EXPECT_DOUBLE_EQ(gpudirect_makespan(cfg, {}), 5e-4);
+}
+
+// -- DeviceSpace: mirror validity, transfer minimality, staging arena. --
+
+DeviceConfig space_cfg(DeviceConfig::Mode mode,
+                       std::size_t staging = 1 << 20) {
+  DeviceConfig dc;
+  dc.enabled = true;
+  dc.mode = mode;
+  dc.staging_bytes = staging;
+  return dc;
+}
+
+TEST(DeviceSpace, ValidityTrackingRoundTrip) {
+  BufferPool pool;
+  DeviceSpace ds(space_cfg(DeviceConfig::Mode::Pipelined), &pool);
+  std::vector<double> dev(100, 0.0);
+  ds.bind(0, dev.data(), dev.size());
+  EXPECT_TRUE(ds.device_valid(0));
+  EXPECT_TRUE(ds.host_valid(0));
+
+  // Host producer rewrites the array in place: device side stale.
+  std::iota(dev.begin(), dev.end(), 1.0);
+  ds.host_wrote(0);
+  EXPECT_FALSE(ds.device_valid(0));
+  EXPECT_TRUE(ds.host_valid(0));
+
+  ds.to_device(0);
+  EXPECT_TRUE(ds.device_valid(0));
+  EXPECT_EQ(ds.stats().h2d_transfers, 1);
+  EXPECT_EQ(ds.stats().h2d_bytes,
+            static_cast<std::int64_t>(100 * sizeof(double)));
+
+  // Device kernel writes: shadow stale until to_host.
+  dev[7] = -3.5;
+  ds.device_wrote(0);
+  EXPECT_FALSE(ds.host_valid(0));
+  EXPECT_TRUE(ds.device_valid(0));
+  const double* shadow = ds.to_host(0);
+  EXPECT_TRUE(ds.host_valid(0));
+  EXPECT_EQ(ds.stats().d2h_transfers, 1);
+  EXPECT_EQ(std::vector<double>(shadow, shadow + 100), dev);
+}
+
+TEST(DeviceSpace, DirtyMaskIsMinimal) {
+  // The pipelined policy moves a mirror ONLY across a validity edge:
+  // repeated to_device / to_host on a clean mirror are free.
+  BufferPool pool;
+  DeviceSpace ds(space_cfg(DeviceConfig::Mode::Pipelined), &pool);
+  std::vector<double> dev(64, 1.0);
+  ds.bind(0, dev.data(), dev.size());
+  ds.host_wrote(0);
+  ds.to_device(0);
+  for (int i = 0; i < 5; ++i) {
+    ds.to_device(0);
+    ds.to_host(0);
+  }
+  EXPECT_EQ(ds.stats().h2d_transfers, 1);
+  EXPECT_EQ(ds.stats().d2h_transfers, 0);  // never DeviceFresh
+  EXPECT_EQ(ds.stats().redundant_bytes, 0);
+}
+
+TEST(DeviceSpace, FullyStagedCountsRedundantBytes) {
+  BufferPool pool;
+  DeviceSpace ds(space_cfg(DeviceConfig::Mode::FullyStaged), &pool);
+  std::vector<double> dev(64, 1.0);
+  ds.bind(0, dev.data(), dev.size());
+  ds.host_wrote(0);
+  ds.to_device(0);  // genuine upload
+  ds.to_device(0);  // re-staged although valid
+  EXPECT_EQ(ds.stats().h2d_transfers, 2);
+  EXPECT_EQ(ds.stats().redundant_bytes,
+            static_cast<std::int64_t>(64 * sizeof(double)));
+}
+
+TEST(DeviceSpace, SteadyStateEpochsMoveZeroBytesAndAllocateNothing) {
+  // After the first epoch uploads the initial contents, a pipelined
+  // epoch loop moves no mirror bytes at all — and the bounce copies that
+  // DO happen recycle BufferPool storage, so the allocation count goes
+  // flat (the satellite-2 regression: no separate staging allocator).
+  BufferPool pool;
+  DeviceSpace ds(space_cfg(DeviceConfig::Mode::Pipelined,
+                           /*staging=*/4096),
+                 &pool);
+  std::vector<double> a(4000, 1.0), b(2000, 2.0);
+  ds.bind(0, a.data(), a.size());
+  ds.bind(1, b.data(), b.size());
+  ds.host_wrote(0);
+  ds.host_wrote(1);
+
+  std::int64_t h2d_after_first = 0;
+  std::int64_t allocs_after_first = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    ds.begin_epoch();
+    ds.to_device(0);
+    ds.to_device(1);
+    a[epoch] += 1.0;  // the "kernel"
+    ds.device_wrote(0);
+    ds.end_epoch(1e-4);
+    if (epoch == 0) {
+      h2d_after_first = ds.stats().h2d_bytes;
+      allocs_after_first = pool.allocations();
+      EXPECT_GT(h2d_after_first, 0);
+    }
+  }
+  EXPECT_EQ(ds.stats().h2d_bytes, h2d_after_first);
+  EXPECT_EQ(ds.stats().redundant_bytes, 0);
+  EXPECT_EQ(pool.allocations(), allocs_after_first);
+}
+
+TEST(DeviceSpace, StagedEpochDownloadsRecycleStagingArena) {
+  // FullyStaged re-moves every mirror each epoch: plenty of bounce
+  // traffic, yet after warm-up the pool satisfies all of it without a
+  // single new allocation.
+  BufferPool pool;
+  DeviceSpace ds(space_cfg(DeviceConfig::Mode::FullyStaged,
+                           /*staging=*/4096),
+                 &pool);
+  std::vector<double> a(5000, 1.0);
+  ds.bind(0, a.data(), a.size());
+  ds.host_wrote(0);
+  std::int64_t allocs_after_first = 0;
+  for (int epoch = 0; epoch < 6; ++epoch) {
+    ds.begin_epoch();
+    ds.to_device(0);
+    ds.device_wrote(0);
+    ds.end_epoch(1e-4);  // staged: physically downloads dat 0
+    if (epoch == 0) allocs_after_first = pool.allocations();
+  }
+  EXPECT_GT(ds.stats().d2h_transfers, 1);
+  EXPECT_EQ(pool.allocations(), allocs_after_first);
+}
+
+TEST(DeviceSpace, PipelinedMakespanOverlapsStages) {
+  const PcieModel pcie;
+  const std::int64_t bytes = 64 << 20;
+  const double compute =
+      static_cast<double>(bytes) / pcie.bandwidth_Bps;  // balanced
+  const double staged =
+      DeviceSpace::staged_makespan(pcie, bytes, compute, bytes);
+  const double pipe1 =
+      DeviceSpace::pipelined_makespan(pcie, bytes, compute, bytes, 1);
+  const double pipe3 =
+      DeviceSpace::pipelined_makespan(pcie, bytes, compute, bytes, 3);
+  const double pipe8 =
+      DeviceSpace::pipelined_makespan(pcie, bytes, compute, bytes, 8);
+  EXPECT_DOUBLE_EQ(pipe1, staged);  // one partition = no overlap
+  EXPECT_LT(pipe3, staged);
+  EXPECT_LE(pipe8, pipe3);
+  EXPECT_GE(pipe8, compute);  // compute is the floor
+}
+
+TEST(DeviceSpace, RebindPreservesLedgerAndResizesShadow) {
+  BufferPool pool;
+  DeviceSpace ds(space_cfg(DeviceConfig::Mode::Pipelined), &pool);
+  std::vector<double> dev(10, 1.0);
+  ds.bind(0, dev.data(), dev.size());
+  ds.host_wrote(0);
+  ds.to_device(0);
+  const std::int64_t before = ds.stats().h2d_bytes;
+  std::vector<double> bigger(20, 2.0);
+  ds.rebind(0, bigger.data(), bigger.size());
+  ds.host_wrote(0);
+  ds.to_device(0);
+  EXPECT_EQ(ds.stats().h2d_bytes,
+            before + static_cast<std::int64_t>(20 * sizeof(double)));
+}
+
+// -- Hierarchical two-level colouring (arXiv:1802.03749). ---------------
+
+/// Ring map: element e touches nodes {e, (e+1) % n} — every neighbour
+/// pair conflicts, the classic worst case for flat colouring.
+std::vector<lidx_t> ring_targets(lidx_t n) {
+  std::vector<lidx_t> t(static_cast<std::size_t>(n) * 2);
+  for (lidx_t e = 0; e < n; ++e) {
+    t[static_cast<std::size_t>(e) * 2] = e;
+    t[static_cast<std::size_t>(e) * 2 + 1] = (e + 1) % n;
+  }
+  return t;
+}
+
+/// A long-range second map (e -> (7e+3) mod m) so conflicts are not
+/// purely local.
+std::vector<lidx_t> stride_targets(lidx_t n, lidx_t m) {
+  std::vector<lidx_t> t(static_cast<std::size_t>(n));
+  for (lidx_t e = 0; e < n; ++e) t[static_cast<std::size_t>(e)] = (7 * e + 3) % m;
+  return t;
+}
+
+TEST(Hierarchy, TwoLevelColouringIsValid) {
+  const lidx_t n = 257;
+  const std::vector<lidx_t> ring = ring_targets(n);
+  const std::vector<lidx_t> stride = stride_targets(n, n);
+  const std::vector<mesh::ColourMapView> views{
+      {ring.data(), 2, n, n}, {stride.data(), 1, n, n}};
+  const HierColouring h = hierarchical_colouring(n, views, 32);
+  EXPECT_TRUE(hierarchical_valid(h, n, views));
+  EXPECT_GT(h.blocks.num_colours, 1);
+  EXPECT_GT(h.max_inner_colours, 1);
+}
+
+TEST(Hierarchy, ScheduleIsDeterministicAndCoversEveryElement) {
+  const lidx_t n = 300;
+  const std::vector<lidx_t> ring = ring_targets(n);
+  const std::vector<mesh::ColourMapView> views{{ring.data(), 2, n, n}};
+  const HierColouring a = hierarchical_colouring(n, views, 32);
+  const HierColouring b = hierarchical_colouring(n, views, 32);
+  EXPECT_EQ(a.block_order, b.block_order);
+  EXPECT_EQ(a.elem_colour, b.elem_colour);
+  EXPECT_EQ(a.blocks.colour, b.blocks.colour);
+
+  // block_order is a permutation of [0, n).
+  LIdxVec sorted = a.block_order;
+  std::sort(sorted.begin(), sorted.end());
+  for (lidx_t e = 0; e < n; ++e) EXPECT_EQ(sorted[e], e);
+
+  // colour_blocks covers each block exactly once.
+  lidx_t blocks_listed = 0;
+  for (const LIdxVec& c : a.colour_blocks)
+    blocks_listed += static_cast<lidx_t>(c.size());
+  EXPECT_EQ(blocks_listed, a.num_blocks());
+}
+
+TEST(Hierarchy, SharedMemoryClampBoundsBlockFootprint) {
+  // 512 B of "shared memory" with dim-4 doubles = 16 staged targets per
+  // block; the requested 64-element blocks must be clamped until every
+  // block's unique targets fit.
+  const lidx_t n = 512;
+  const std::vector<lidx_t> ring = ring_targets(n);
+  const std::vector<mesh::ColourMapView> views{{ring.data(), 2, n, n}};
+  const HierColouring h =
+      hierarchical_colouring(n, views, 64, /*shared_bytes=*/512,
+                             /*max_dim=*/4);
+  EXPECT_LT(h.blocks.block_elems, 64);
+  for (lidx_t b = 0; b < h.num_blocks(); ++b)
+    EXPECT_LE(static_cast<std::size_t>(h.block_unique_targets[b]) * 4 *
+                  sizeof(double),
+              std::size_t{512});
+  EXPECT_TRUE(hierarchical_valid(h, n, views));
+}
+
+TEST(Hierarchy, SharedStagingRoundTrip) {
+  const lidx_t n = 96, m = 64;
+  const std::vector<lidx_t> stride = stride_targets(n, m);
+  const mesh::ColourMapView view{stride.data(), 1, n, m};
+  const std::vector<mesh::ColourMapView> views{view};
+  const HierColouring h = hierarchical_colouring(n, views, 16);
+  constexpr int dim = 3;
+
+  for (const mesh::LayoutKind kind :
+       {mesh::LayoutKind::AoS, mesh::LayoutKind::SoA}) {
+    const mesh::DatLayout lay = mesh::DatLayout::make(kind, dim, m, 8);
+    std::vector<double> data(lay.alloc_doubles(), 0.0);
+    for (lidx_t t = 0; t < m; ++t)
+      for (int c = 0; c < dim; ++c)
+        data[lay.offset(t, c)] = t * 10.0 + c;
+    const std::vector<double> orig = data;
+    const mesh::DatLayout* lp =
+        kind == mesh::LayoutKind::AoS ? nullptr : &lay;
+
+    const SharedStaging s = build_shared_staging(h, 0, view);
+    std::vector<double> buf(s.targets.size() * dim, 0.0);
+    staging_gather(s, data.data(), lp, dim, buf.data());
+    for (std::size_t r = 0; r < s.targets.size(); ++r)
+      for (int c = 0; c < dim; ++c)
+        EXPECT_EQ(buf[r * dim + c], s.targets[r] * 10.0 + c);
+
+    // Scatter-back of the unmodified staging is the identity...
+    staging_scatter(s, buf.data(), lp, dim, data.data());
+    EXPECT_EQ(data, orig);
+    // ...and block-local updates land on exactly the staged targets.
+    for (double& v : buf) v += 1.0;
+    staging_scatter(s, buf.data(), lp, dim, data.data());
+    std::vector<bool> staged(static_cast<std::size_t>(m), false);
+    for (const lidx_t t : s.targets) staged[static_cast<std::size_t>(t)] = true;
+    for (lidx_t t = 0; t < m; ++t)
+      for (int c = 0; c < dim; ++c)
+        EXPECT_EQ(data[lay.offset(t, c)],
+                  orig[lay.offset(t, c)] + (staged[t] ? 1.0 : 0.0));
+  }
+}
+
+TEST(Hierarchy, StagingSlotsResolveEveryMapEntry) {
+  const lidx_t n = 80;
+  const std::vector<lidx_t> ring = ring_targets(n);
+  const mesh::ColourMapView view{ring.data(), 2, n, n};
+  const std::vector<mesh::ColourMapView> views{view};
+  const HierColouring h = hierarchical_colouring(n, views, 16);
+  for (lidx_t b = 0; b < h.num_blocks(); ++b) {
+    const SharedStaging s = build_shared_staging(h, b, view);
+    const std::size_t lo = h.block_off[static_cast<std::size_t>(b)];
+    const std::size_t hi = h.block_off[static_cast<std::size_t>(b) + 1];
+    ASSERT_EQ(s.slot.size(), (hi - lo) * 2);
+    for (std::size_t i = lo; i < hi; ++i) {
+      const lidx_t e = h.block_order[i];
+      for (int k = 0; k < 2; ++k) {
+        const lidx_t row = s.slot[(i - lo) * 2 + static_cast<std::size_t>(k)];
+        ASSERT_GE(row, 0);
+        EXPECT_EQ(s.targets[static_cast<std::size_t>(row)],
+                  ring[static_cast<std::size_t>(e) * 2 +
+                       static_cast<std::size_t>(k)]);
+      }
+    }
+  }
 }
 
 }  // namespace
