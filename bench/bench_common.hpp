@@ -45,6 +45,10 @@
 //                  (default 3: H2D | compute | D2H)
 //   --device-staging=N  bytes per pinned staging buffer bounced through
 //                  the rank BufferPool (default 1 MiB)
+//   --tile=N       temporal chain tiling: fuse N consecutive invocations
+//                  of each chain into one CA epoch (model benches price
+//                  CA with t_ca_chain_tiled; executing benches set
+//                  WorldConfig::tile). Default 1 = per-invocation.
 #pragma once
 
 #include <iostream>
@@ -95,6 +99,7 @@ struct BenchConfig {
   std::string device_mode = "pipelined";
   int pipeline_stages = 3;
   std::int64_t device_staging = 1 << 20;
+  int tile = 1;
 
   static BenchConfig from_options(const Options& opt) {
     BenchConfig cfg;
@@ -115,8 +120,10 @@ struct BenchConfig {
     cfg.pipeline_stages =
         static_cast<int>(opt.get_int("pipeline-stages", 3));
     cfg.device_staging = opt.get_int("device-staging", 1 << 20);
+    cfg.tile = static_cast<int>(opt.get_int("tile", 1));
     sim::backend_by_name(cfg.backend);  // validate the name early
     gpu::device_mode_by_name(cfg.device_mode);  // likewise
+    OP2CA_REQUIRE(cfg.tile >= 1, "--tile must be >= 1");
     OP2CA_REQUIRE(cfg.scale >= 1, "--scale must be >= 1");
     OP2CA_REQUIRE(cfg.threads >= 1, "--threads must be >= 1");
     OP2CA_REQUIRE(cfg.vector_width >= 0, "--vector-width must be >= 0");
@@ -194,7 +201,7 @@ inline std::set<std::string> standard_option_names() {
           "layout",     "aosoa-block", "vector-width", "taskgraph",
           "rails",      "persistent",  "backend",     "calibration",
           "device",     "device-mode", "pipeline-stages",
-          "device-staging"};
+          "device-staging", "tile"};
 }
 
 /// Paper mesh sizes by label.
@@ -251,7 +258,7 @@ inline ChainPrediction predict_chain(
     const model::Machine& mach, const mesh::MeshDef& mesh,
     const halo::HaloPlan& plan, const core::ChainSpec& spec,
     const std::set<mesh::dat_id>& stale,
-    const std::map<std::string, double>& host_g) {
+    const std::map<std::string, double>& host_g, int tile = 1) {
   const core::ChainAnalysis an = core::inspect_chain(mesh, spec);
   ChainPrediction out;
   out.components =
@@ -259,7 +266,10 @@ inline ChainPrediction predict_chain(
   model::apply_kernel_costs(spec, host_g, mach.compute_scale,
                             &out.components);
   out.t_op2 = model::t_op2_chain(mach, out.components.op2_terms);
-  out.t_ca = model::t_ca_chain(mach, out.components.ca_terms);
+  out.t_ca = tile > 1 ? model::t_ca_chain_tiled(mach,
+                                                out.components.ca_terms,
+                                                tile)
+                      : model::t_ca_chain(mach, out.components.ca_terms);
   out.gain_pct = model::gain_percent(out.t_op2, out.t_ca);
   return out;
 }

@@ -37,7 +37,9 @@ int main(int argc, char** argv) {
     bench::MgcfdBench b(cfg, mesh);
     Table t("Fig 11 — MG-CFD runtime per timestep [ms], " + mesh +
             " mesh (scale 1/" + std::to_string(cfg.scale) +
-            "), Cirrus GPU cluster");
+            "), Cirrus GPU cluster" +
+            (cfg.tile > 1 ? ", CA tiled x" + std::to_string(cfg.tile)
+                          : ""));
     t.set_header({"#Nodes", "GPU ranks", "#Loops", "OP2 [ms]", "CA [ms]",
                   "Gain%"});
     t.set_precision(4);

@@ -30,7 +30,9 @@ int main(int argc, char** argv) {
     bench::HydraBench b(cfg, mesh);
     Table t("Fig 13 — Hydra chain runtimes [ms] over 20 iterations, " +
             mesh + " mesh (scale 1/" + std::to_string(cfg.scale) +
-            "), Cirrus GPU cluster");
+            "), Cirrus GPU cluster" +
+            (cfg.tile > 1 ? ", CA tiled x" + std::to_string(cfg.tile)
+                          : ""));
     t.set_header({"chain", "#Nodes", "GPU ranks", "OP2 [ms]", "CA [ms]",
                   "Gain%"});
     t.set_precision(4);

@@ -46,7 +46,8 @@ public:
     const core::ChainSpec& spec = specs_.at(chain);
     const std::set<mesh::dat_id> stale =
         model::steady_state_stale(spec, rk_written());
-    return predict_chain(mach, prob_.an.mesh, plan, spec, stale, host_g());
+    return predict_chain(mach, prob_.an.mesh, plan, spec, stale, host_g(),
+                         cfg_.tile);
   }
 
   int ranks_for(const model::Machine& mach, int machine_nodes) const {

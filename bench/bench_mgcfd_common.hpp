@@ -41,7 +41,8 @@ public:
         apps::mgcfd::synthetic_chain_spec(prob_, nchains);
     const std::set<mesh::dat_id> stale =
         model::steady_state_stale(spec, {prob_.spres});
-    return predict_chain(mach, prob_.mg.mesh, plan, spec, stale, host_g_);
+    return predict_chain(mach, prob_.mg.mesh, plan, spec, stale, host_g_,
+                         cfg_.tile);
   }
 
   int ranks_for(const model::Machine& mach, int machine_nodes) const {

@@ -6,7 +6,8 @@
 // replaced and the persistent GroupedPlan pack+send against the
 // allocate-and-copy style, writing BENCH_hotpath.json. Further custom
 // sections write BENCH_locality.json, BENCH_simd.json,
-// BENCH_transport.json and BENCH_gpu.json (device pipeline A/Bs).
+// BENCH_transport.json, BENCH_gpu.json (device pipeline A/Bs) and
+// BENCH_tiling.json (temporal chain tiling A/B).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include "op2ca/apps/mgcfd/mgcfd_kernels.hpp"
 #include "op2ca/comm/comm.hpp"
 #include "op2ca/comm/cost_model.hpp"
+#include "op2ca/comm/transport.hpp"
 #include "op2ca/core/runtime.hpp"
 #include "op2ca/halo/grouped.hpp"
 #include "op2ca/halo/halo_plan.hpp"
@@ -1379,6 +1381,161 @@ void write_gpu_json(const char* path) {
       static_cast<long long>(first.h2d_bytes), flat_ns / hier_ns, path);
 }
 
+// ---------------------------------------------------------------------
+// Temporal tiling A/B harness (BENCH_tiling.json): a Jacobi-style chain
+// of two mutually-dependent indirect edge loops (fwd writes b from a,
+// bwd writes a from b — every timestep re-dirties what the next one
+// reads, so untiled execution pays a full exchange epoch per
+// invocation) over a scrambled hex3d mesh, run back-to-back for a fixed
+// number of timesteps at tile = 1, 2, 4, 8. A real per-post wire
+// latency is injected through sim::Transport::set_post_delay so
+// exchange epochs cost genuine wall time (the sim fabric's memcpy wire
+// is otherwise nearly free — the regime where tiling is pointless).
+// The gated numbers: tile=4 must cut exchange-epoch count >= 3x and
+// wall time >= 1.3x vs tile=1; the sweep's redundant_elems column is
+// the measured message-reduction vs redundant-compute crossover ledger
+// for EXPERIMENTS.md.
+// ---------------------------------------------------------------------
+
+/// Antisymmetric edge relaxation: out gains at both endpoints from the
+/// difference of in at the opposite endpoints, scaled by the edge weight.
+struct TileRelax {
+  template <typename O1, typename O2, typename I1, typename I2,
+            typename W>
+  void operator()(O1&& o1, O2&& o2, I1&& i1, I2&& i2, W&& w) const {
+    const double f = 1e-3 * (1.0 + 0.1 * w[0]);
+    o1[0] += f * (i2[0] - i1[0]);
+    o2[0] += f * (i1[0] - i2[0]);
+  }
+};
+inline constexpr TileRelax tile_relax{};
+
+mesh::MeshDef build_tiling_mesh() {
+  mesh::Hex3D h = mesh::make_hex3d(16, 16, 16);
+  const gidx_t n = h.mesh.set(h.nodes).size;
+  const gidx_t e = h.mesh.set(h.edges).size;
+  Rng rng(17);
+  for (const char* name : {"tile_a", "tile_b"}) {
+    std::vector<double> init(static_cast<std::size_t>(n));
+    for (auto& v : init) v = rng.next_range(0.5, 1.5);
+    h.mesh.add_dat(name, h.nodes, 1, std::move(init));
+  }
+  std::vector<double> wt(static_cast<std::size_t>(e));
+  for (auto& v : wt) v = rng.next_range(-0.5, 0.5);
+  h.mesh.add_dat("tile_ewt", h.edges, 1, std::move(wt));
+  return mesh::scramble_mesh(h.mesh, 99);
+}
+
+/// One timestep: the fwd/bwd relaxation pair bracketed as a chain.
+void run_tiling_chain(core::Runtime& rt) {
+  const core::Set edges = rt.set("edges");
+  const core::Map map = rt.map("e2n");
+  rt.chain_begin("tile_chain");
+  rt.par_loop("tile_fwd", edges, tile_relax,
+              core::arg_dat(rt.dat("tile_b"), 0, map, core::Access::INC),
+              core::arg_dat(rt.dat("tile_b"), 1, map, core::Access::INC),
+              core::arg_dat(rt.dat("tile_a"), 0, map, core::Access::READ),
+              core::arg_dat(rt.dat("tile_a"), 1, map, core::Access::READ),
+              core::arg_dat(rt.dat("tile_ewt"), core::Access::READ));
+  rt.par_loop("tile_bwd", edges, tile_relax,
+              core::arg_dat(rt.dat("tile_a"), 0, map, core::Access::INC),
+              core::arg_dat(rt.dat("tile_a"), 1, map, core::Access::INC),
+              core::arg_dat(rt.dat("tile_b"), 0, map, core::Access::READ),
+              core::arg_dat(rt.dat("tile_b"), 1, map, core::Access::READ),
+              core::arg_dat(rt.dat("tile_ewt"), core::Access::READ));
+  rt.chain_end();
+}
+
+struct TilingCase {
+  int tile = 1;
+  double wall_s = 0;          ///< timed timestep loop, rank 0.
+  std::int64_t epochs = 0;    ///< fused chain executions (metric calls).
+  std::int64_t msgs = 0;
+  std::int64_t bytes = 0;
+  std::int64_t msgs_saved = 0;
+  std::int64_t redundant_elems = 0;
+};
+
+TilingCase bench_tiling_case(const mesh::MeshDef& m, int tile, int steps) {
+  core::WorldConfig cfg;
+  cfg.nranks = 4;
+  cfg.halo_depth = 2;
+  cfg.tile = tile;
+  cfg.chains.enable("tile_chain");
+  core::World w(m, cfg);
+  // Inject a 500us per-post wire latency: exchange epochs then dominate
+  // wall the way a real network would, and the A/B isolates what fusing
+  // k epochs into one actually buys.
+  if (auto* t = dynamic_cast<sim::Transport*>(&w.transport()))
+    for (rank_t r = 0; r < cfg.nranks; ++r) t->set_post_delay(r, 500e-6);
+
+  // Warm-up: one full tile builds the fused plan, exec lists, exchange
+  // and channel caches; the timed loop below measures steady state.
+  w.run([&](core::Runtime& rt) {
+    for (int i = 0; i < tile; ++i) run_tiling_chain(rt);
+  });
+  w.clear_metrics();
+
+  TilingCase out;
+  out.tile = tile;
+  w.run([&](core::Runtime& rt) {
+    WallTimer timer;
+    for (int i = 0; i < steps; ++i) run_tiling_chain(rt);
+    rt.flush();  // drain a trailing partial tile inside the clock
+    if (rt.rank() == 0) out.wall_s = timer.elapsed();
+  });
+  const auto cm = w.chain_metrics();
+  const core::LoopMetrics& lm = cm.at("tile_chain");
+  out.epochs = lm.calls;
+  out.msgs = lm.msgs;
+  out.bytes = lm.bytes;
+  out.msgs_saved = lm.msgs_saved;
+  out.redundant_elems = lm.redundant_elems;
+  return out;
+}
+
+void write_tiling_json(const char* path) {
+  const mesh::MeshDef m = build_tiling_mesh();
+  constexpr int kSteps = 32;
+  std::vector<TilingCase> cases;
+  for (const int tile : {1, 2, 4, 8})
+    cases.push_back(bench_tiling_case(m, tile, kSteps));
+
+  const auto find = [&](int tile) -> const TilingCase& {
+    for (const TilingCase& c : cases)
+      if (c.tile == tile) return c;
+    raise("tiling bench case missing");
+  };
+  const TilingCase& t1 = find(1);
+  const TilingCase& t4 = find(4);
+  const double epoch_reduction =
+      static_cast<double>(t1.epochs) / static_cast<double>(t4.epochs);
+  const double wall_speedup = t1.wall_s / t4.wall_s;
+
+  std::ofstream os(path);
+  os.precision(5);
+  os << "{\n  \"mesh\": \"hex3d 16^3 scrambled, 4 ranks, " << kSteps
+     << " timesteps, 500us/post injected wire latency\",\n"
+     << "  \"cases\": [\n";
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const TilingCase& c = cases[i];
+    os << "    {\"tile\": " << c.tile << ", \"wall_s\": " << c.wall_s
+       << ", \"epochs\": " << c.epochs << ", \"msgs\": " << c.msgs
+       << ", \"bytes\": " << c.bytes
+       << ", \"msgs_saved\": " << c.msgs_saved
+       << ", \"redundant_elems\": " << c.redundant_elems << "}"
+       << (i + 1 < cases.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n"
+     << "  \"epoch_reduction\": " << epoch_reduction << ",\n"
+     << "  \"wall_speedup\": " << wall_speedup << "\n}\n";
+  std::printf(
+      "tiling: tile=4 cuts exchange epochs %.2fx (%lld -> %lld) and wall "
+      "%.2fx vs tile=1 on the scrambled hex3d chain -> %s\n",
+      epoch_reduction, static_cast<long long>(t1.epochs),
+      static_cast<long long>(t4.epochs), wall_speedup, path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1412,5 +1569,6 @@ int main(int argc, char** argv) {
   write_simd_json("BENCH_simd.json", layout_only, aosoa_block);
   write_transport_json("BENCH_transport.json");
   write_gpu_json("BENCH_gpu.json");
+  write_tiling_json("BENCH_tiling.json");
   return 0;
 }

@@ -10,10 +10,16 @@ one self-describing document instead of a loose file pile.
 
 Usage:
     python3 scripts/collect_bench.py [--dir DIR] [--out FILE]
+                                     [--expect a,b,...]
 
 DIR defaults to the current directory, OUT to results/bench_all.json
-under DIR. Exits non-zero if no BENCH_*.json is found (a CI run that
-produced nothing is a failed run) or if any file is unparseable.
+under DIR. --expect names the sections that MUST be present (default:
+the bench_micro_kernels set — hotpath, locality, simd, transport, gpu,
+tiling); a missing or unparseable expected file exits non-zero so a CI
+run that silently dropped a section fails instead of uploading a
+truncated snapshot. Extra BENCH_*.json beyond the expected set (e.g.
+BENCH_calibration.json from the MPI leg) are collected too. Exits
+non-zero if no BENCH_*.json is found at all.
 """
 
 import argparse
@@ -22,10 +28,20 @@ import json
 import os
 import sys
 
+# The sections bench_micro_kernels always emits; a run that produced
+# fewer than these is a failed run, not a smaller one.
+DEFAULT_EXPECT = "hotpath,locality,simd,transport,gpu,tiling"
 
-def collect(src_dir: str) -> dict:
+
+def collect(src_dir: str, expect: list) -> dict:
     sections = {}
     paths = sorted(glob.glob(os.path.join(src_dir, "BENCH_*.json")))
+    found = {os.path.basename(p)[len("BENCH_"):-len(".json")]: p
+             for p in paths}
+    missing = [name for name in expect if name not in found]
+    if missing:
+        sys.exit("FAIL: expected BENCH_{%s}.json missing from %s"
+                 % (",".join(missing), src_dir or "."))
     for path in paths:
         name = os.path.basename(path)
         # BENCH_gpu.json -> "gpu", BENCH_hotpath.json -> "hotpath", ...
@@ -45,10 +61,14 @@ def main() -> None:
     ap.add_argument("--dir", default=".", help="directory holding BENCH_*.json")
     ap.add_argument("--out", default=None,
                     help="output path (default: <dir>/results/bench_all.json)")
+    ap.add_argument("--expect", default=DEFAULT_EXPECT,
+                    help="comma-separated section names that must be present"
+                         " (empty string to accept whatever is found)")
     args = ap.parse_args()
 
+    expect = [s for s in args.expect.split(",") if s]
     out = args.out or os.path.join(args.dir, "results", "bench_all.json")
-    merged = collect(args.dir)
+    merged = collect(args.dir, expect)
     os.makedirs(os.path.dirname(out), exist_ok=True)
     with open(out, "w") as f:
         json.dump(merged, f, indent=2, sort_keys=True)

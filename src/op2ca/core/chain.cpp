@@ -14,6 +14,10 @@ void Runtime::chain_begin(const std::string& name) {
   OP2CA_REQUIRE(!state_->capturing,
                 "chain_begin('" + name + "') while chain '" +
                     state_->chain_name + "' is still open");
+  // A different chain breaks the current tile window; another invocation
+  // of the accumulating chain keeps it open (the whole point of tiling).
+  if (!state_->tile_queue.empty() && state_->tile_chain != name)
+    detail::flush_tiles(*state_);
   detail::flush_lazy(*state_);  // explicit chains take precedence
   state_->capturing = true;
   state_->chain_name = name;
@@ -34,6 +38,7 @@ void Runtime::chain_end() {
     // the two execution modes of the same chain.
     LoopMetrics chain_total;
     chain_total.calls = 1;
+    chain_total.tile = 1;  // untiled by definition (per-loop OP2)
     for (const auto& rec : loops) {
       const LoopMetrics m = detail::execute_loop_op2(*state_, rec);
       chain_total.core_iters += m.core_iters;
@@ -68,10 +73,35 @@ void Runtime::chain_end() {
                    << " loops but captured " << loops.size();
   }
 
-  detail::execute_chain_ca(*state_, name, loops);
+  // Effective tile size: a per-chain tile= entry overrides the world
+  // default. tile <= 1 is the per-invocation executor, bitwise-identical
+  // to previous builds.
+  const int chain_tile = cfg.tile(name);
+  const int tile =
+      std::max(1, chain_tile > 0 ? chain_tile : world_->config().tile);
+  if (tile <= 1 || loops.empty()) {
+    detail::execute_chain_ca(*state_, name, loops);
+    return;
+  }
+
+  // Temporal tiling: accumulate this invocation into the tile window. A
+  // window already holding a different chain — or the same name reused
+  // with a different loop structure — flushes first.
+  detail::RankState& st = *state_;
+  if (!st.tile_queue.empty() &&
+      (st.tile_chain != name ||
+       detail::chain_structural_hash(st.tile_queue.front().data(),
+                                     st.tile_queue.front().size()) !=
+           detail::chain_structural_hash(loops.data(), loops.size())))
+    detail::flush_tiles(st);
+  st.tile_chain = name;
+  st.tile_target = tile;
+  st.tile_queue.push_back(std::move(loops));
+  if (static_cast<int>(st.tile_queue.size()) >= st.tile_target)
+    detail::flush_tiles(st);
 }
 
-void Runtime::flush() { detail::flush_lazy(*state_); }
+void Runtime::flush() { detail::flush_deferred(*state_); }
 
 namespace detail {
 
@@ -115,28 +145,30 @@ std::string lazy_signature(const LoopRecord* loops, std::size_t n) {
   return std::string("lazy:") + buf;
 }
 
-/// Feasibility of a window of queued loops as one CA chain: accepted by
-/// the inspector AND within the halo plan's depth. Caches the analysis in
-/// st.chain_plans under the window's signature, so a feasible window's
-/// later execution (and every repeat of the same program phase) skips the
-/// inspector entirely.
-bool window_feasible(RankState& st, const LoopRecord* loops, std::size_t n,
-                     std::string* name_out) {
+/// Feasibility of a window of loops as one CA chain cached under `key`:
+/// accepted by the inspector AND within the halo plan's depth AND within
+/// `cap` halo layers (0 = uncapped). Caches the analysis in
+/// st.chain_plans under `key`, so a feasible window's later execution
+/// (and every repeat of the same window) skips the inspector entirely.
+bool window_feasible_as(RankState& st, const std::string& key,
+                        const LoopRecord* loops, std::size_t n, int cap) {
   const std::uint64_t sig = chain_structural_hash(loops, n);
-  const std::string name = lazy_signature(loops, n);
-  *name_out = name;
-  const auto it = st.chain_plans.find(name);
+  const auto within = [&st, cap](int required) {
+    return required <= st.world->plan().depth &&
+           (cap == 0 || required <= cap);
+  };
+  const auto it = st.chain_plans.find(key);
   if (it != st.chain_plans.end() && it->second.structure == sig &&
       it->second.analysis.he.size() == n)
-    return it->second.analysis.required_depth <= st.world->plan().depth;
+    return within(it->second.analysis.required_depth);
   ChainSpec spec;
-  spec.name = name;
+  spec.name = key;
   spec.loops.reserve(n);
   for (std::size_t l = 0; l < n; ++l) spec.loops.push_back(loops[l].spec);
   try {
     ChainAnalysis an = inspect_chain(st.world->mesh(), spec);
-    const bool ok = an.required_depth <= st.world->plan().depth;
-    ChainPlan& cp = st.chain_plans[name];
+    const bool ok = within(an.required_depth);
+    ChainPlan& cp = st.chain_plans[key];
     cp.structure = sig;
     cp.analysis = std::move(an);
     cp.exec_lists_built = false;
@@ -146,6 +178,13 @@ bool window_feasible(RankState& st, const LoopRecord* loops, std::size_t n,
   } catch (const Error&) {
     return false;  // inspector rejected (e.g. unregenerable direct write)
   }
+}
+
+/// Lazy-mode wrapper: keys the cache by the window's structural signature.
+bool window_feasible(RankState& st, const LoopRecord* loops, std::size_t n,
+                     std::string* name_out) {
+  *name_out = lazy_signature(loops, n);
+  return window_feasible_as(st, *name_out, loops, n, /*cap=*/0);
 }
 
 }  // namespace
@@ -181,6 +220,60 @@ void flush_lazy(RankState& st) {
     }
     i = j;
   }
+}
+
+void flush_tiles(RankState& st) {
+  if (st.tile_queue.empty()) return;
+  std::vector<std::vector<LoopRecord>> invs = std::move(st.tile_queue);
+  st.tile_queue.clear();
+  const std::string name = st.tile_chain;
+  const int n_inv = static_cast<int>(invs.size());
+  // chain_end only appends structure-equal invocations, so every
+  // invocation in the window has the same loop count.
+  const std::size_t per_inv = invs.front().size();
+
+  std::vector<LoopRecord> fused;
+  fused.reserve(per_inv * static_cast<std::size_t>(n_inv));
+  for (auto& inv : invs)
+    std::move(inv.begin(), inv.end(), std::back_inserter(fused));
+
+  if (n_inv >= 2) {
+    // The plan key carries the tile geometry: a full tile and a partial
+    // tile flushed at a sync point cache distinct plans / exchanges /
+    // persistent channels, and repeating the same geometry hits the
+    // cache without renegotiation.
+    const std::string key = name + "#tile" + std::to_string(n_inv);
+    const int cap = st.world->config().chains.max_depth(name);
+    if (window_feasible_as(st, key, fused.data(), fused.size(), cap)) {
+      execute_chain_ca_tiled(st, name, key, fused, n_inv);
+      return;
+    }
+    if (st.tile_fallbacks.insert(key).second)
+      OP2CA_LOG_WARN << "chain '" << name << "': fused tile of " << n_inv
+                     << " invocations is infeasible (inspector rejection, "
+                        "halo plan too shallow, or over the chain's depth "
+                        "cap) — falling back to per-invocation execution";
+  }
+
+  // Per-invocation execution: a single queued invocation, or the loud
+  // fallback for an infeasible fused window. Runs under the chain's own
+  // plan key, identical to the untiled executor.
+  for (int i = 0; i < n_inv; ++i) {
+    const auto b = fused.begin() + static_cast<long>(i) *
+                                       static_cast<long>(per_inv);
+    std::vector<LoopRecord> window(std::make_move_iterator(b),
+                                   std::make_move_iterator(
+                                       b + static_cast<long>(per_inv)));
+    execute_chain_ca(st, name, window);
+  }
+}
+
+void flush_deferred(RankState& st) {
+  // Tiles always predate lazy entries: chain_begin drains the lazy queue
+  // before capturing, and a lazily-queued loose loop flushes the tile
+  // window first (see Runtime::submit) — so tiles-first is program order.
+  flush_tiles(st);
+  flush_lazy(st);
 }
 
 }  // namespace detail

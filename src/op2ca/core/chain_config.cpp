@@ -73,7 +73,11 @@ ChainConfig ChainConfig::parse(std::istream& in) {
         entry.loops = parse_int(value, where);
       else if (key == "depth")
         entry.max_depth = parse_int(value, where);
-      else if (key == "enabled")
+      else if (key == "tile") {
+        entry.tile = parse_int(value, where);
+        OP2CA_REQUIRE(entry.tile >= 1,
+                      "ChainConfig: tile must be >= 1 at " + where);
+      } else if (key == "enabled")
         entry.enabled = parse_int(value, where) != 0;
       else
         raise("ChainConfig: unknown key '" + key + "' at " + where);
@@ -83,12 +87,13 @@ ChainConfig ChainConfig::parse(std::istream& in) {
   return cfg;
 }
 
-void ChainConfig::enable(const std::string& name, int loops, int max_depth) {
-  entries_[name] = Entry{true, loops, max_depth};
+void ChainConfig::enable(const std::string& name, int loops, int max_depth,
+                         int tile) {
+  entries_[name] = Entry{true, loops, max_depth, tile};
 }
 
 void ChainConfig::disable(const std::string& name) {
-  entries_[name] = Entry{false, 0, 0};
+  entries_[name] = Entry{false, 0, 0, 0};
 }
 
 bool ChainConfig::enabled(const std::string& name) const {
@@ -105,6 +110,11 @@ int ChainConfig::max_depth(const std::string& name) const {
 int ChainConfig::expected_loops(const std::string& name) const {
   const auto it = entries_.find(name);
   return it == entries_.end() ? 0 : it->second.loops;
+}
+
+int ChainConfig::tile(const std::string& name) const {
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.tile;
 }
 
 }  // namespace op2ca::core

@@ -17,17 +17,19 @@ public:
     bool enabled = true;
     int loops = 0;      ///< expected loop count (0 = unchecked).
     int max_depth = 0;  ///< cap on halo extension (0 = uncapped).
+    int tile = 0;       ///< temporal tile size (0 = inherit WorldConfig::tile).
   };
 
   /// Parses a config file. Format, one directive per line:
-  ///   chain <name> [loops=<n>] [depth=<d>] [enabled=0|1]
+  ///   chain <name> [loops=<n>] [depth=<d>] [tile=<k>] [enabled=0|1]
   ///   default on|off            # CA for unlisted chains (default: off)
   ///   # comments and blank lines ignored
   static ChainConfig load(const std::string& path);
   static ChainConfig parse(std::istream& in);
 
   /// Programmatic registration (equivalent to a `chain` line).
-  void enable(const std::string& name, int loops = 0, int max_depth = 0);
+  void enable(const std::string& name, int loops = 0, int max_depth = 0,
+              int tile = 0);
   void disable(const std::string& name);
   void set_default(bool enabled) { default_enabled_ = enabled; }
 
@@ -36,6 +38,8 @@ public:
   int max_depth(const std::string& name) const;
   /// 0 when unchecked.
   int expected_loops(const std::string& name) const;
+  /// 0 when the chain inherits WorldConfig::tile.
+  int tile(const std::string& name) const;
 
   const std::map<std::string, Entry>& entries() const { return entries_; }
   bool default_enabled() const { return default_enabled_; }

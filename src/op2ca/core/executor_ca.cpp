@@ -124,8 +124,9 @@ ChainExchange& chain_exchange(RankState& st, ChainPlan& cp,
 
 }  // namespace
 
-void execute_chain_ca(RankState& st, const std::string& name,
-                      std::vector<LoopRecord>& loops) {
+void execute_chain_ca_tiled(RankState& st, const std::string& name,
+                            const std::string& plan_key,
+                            std::vector<LoopRecord>& loops, int tile) {
   if (loops.empty()) return;
   WallTimer timer;
   st.comm.stats().reset_epoch();
@@ -139,8 +140,12 @@ void execute_chain_ca(RankState& st, const std::string& name,
   st.dispatch_max_colours = 0;
   std::int64_t plan_builds = 0;
 
-  // -- Inspection (cached; the analysis is rank-independent). ----------
-  ChainPlan& cp = chain_plan(st, name, loops, &plan_builds);
+  // -- Inspection (cached; the analysis is rank-independent). The plan
+  //    key carries the tile geometry, so a fused tile and a partial tile
+  //    of the same chain cache distinct plans (and distinct persistent
+  //    channels — cp.structure differs, so channels renegotiate exactly
+  //    when the tile geometry changes). ----------------------------------
+  ChainPlan& cp = chain_plan(st, plan_key, loops, &plan_builds);
   const ChainAnalysis& an = cp.analysis;
 
   OP2CA_REQUIRE(
@@ -305,13 +310,19 @@ void execute_chain_ca(RankState& st, const std::string& name,
     t_unpack = timer.elapsed();
   }
 
-  // -- Halo phase (lines 14-18): deferred boundary + exec layers. -------
+  // -- Halo phase (lines 14-18): deferred boundary + exec layers. The
+  //    import-exec iterations are the owner-compute redundancy the CA
+  //    trade buys its messages with; a fused tile's lists reach deeper,
+  //    so they are metered separately as redundant_elems. ----------------
   std::int64_t halo_iters = 0;
+  std::int64_t redundant = 0;
   for (std::size_t l = 0; l < loops.size(); ++l) {
     const halo::SetLayout& lay = st.layout(loops[l].set);
     halo_iters +=
         run_range(st, loops[l], lay.core_count(an.shrink[l]), lay.num_owned);
-    halo_iters += run_list(st, loops[l], cp.exec_lists[l]);
+    const std::int64_t exec_n = run_list(st, loops[l], cp.exec_lists[l]);
+    halo_iters += exec_n;
+    redundant += exec_n;
   }
 
   const double t_halo = timer.elapsed();
@@ -385,11 +396,22 @@ void execute_chain_ca(RankState& st, const std::string& name,
         (ds.d2h_transfers - dev_before.d2h_transfers);
     metrics.device_seconds = device_span;
   }
+  metrics.tile = tile;
+  metrics.redundant_elems = redundant;
+  // Per-invocation execution would have paid this epoch's message count
+  // once per fused invocation (the stale-dat mask repeats under a steady
+  // timestep loop); the fusion posts it once.
+  metrics.msgs_saved = static_cast<std::int64_t>(tile - 1) * metrics.msgs;
 
   LoopMetrics& agg = st.chain_metrics[name];
   const std::int64_t prev_calls = agg.calls;
   agg.merge_from(metrics);
   agg.calls = prev_calls + 1;
+}
+
+void execute_chain_ca(RankState& st, const std::string& name,
+                      std::vector<LoopRecord>& loops) {
+  execute_chain_ca_tiled(st, name, name, loops, /*tile=*/1);
 }
 
 }  // namespace op2ca::core::detail

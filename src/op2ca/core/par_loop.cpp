@@ -26,6 +26,10 @@ void Runtime::submit(detail::LoopRecord rec) {
     state_->chain_loops.push_back(std::move(rec));
     return;
   }
+  // A loose loop outside any chain is intervening work: it breaks the
+  // temporal tile window (its reads/writes must observe the queued chain
+  // invocations' results in program order).
+  detail::flush_tiles(*state_);
   if (world_->config().lazy) {
     if (has_gbl_inc) {
       // Global reductions are synchronisation points: drain the queue,

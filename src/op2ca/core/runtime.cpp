@@ -84,6 +84,9 @@ void LoopMetrics::merge_from(const LoopMetrics& other) {
   d2h_bytes += other.d2h_bytes;
   device_transfers += other.device_transfers;
   device_seconds += other.device_seconds;
+  tile = std::max(tile, other.tile);  // largest fused epoch seen
+  redundant_elems += other.redundant_elems;
+  msgs_saved += other.msgs_saved;
 }
 
 namespace detail {
@@ -149,7 +152,7 @@ Dat Runtime::dat(const std::string& name) const {
 }
 
 double* Runtime::dat_data(Dat d) {
-  detail::flush_lazy(*state_);  // direct data access is a sync point
+  detail::flush_deferred(*state_);  // direct data access is a sync point
   // The caller gets the device-side array and may write it in place
   // (managed-pointer semantics): the host shadow is stale until the next
   // download, never the other way around — an upload here would clobber
@@ -167,12 +170,12 @@ const mesh::DatLayout& Runtime::dat_layout(Dat d) const {
 }
 
 sim::Comm& Runtime::comm() {
-  detail::flush_lazy(*state_);  // collectives are sync points
+  detail::flush_deferred(*state_);  // collectives are sync points
   return state_->comm;
 }
 
 void Runtime::barrier() {
-  detail::flush_lazy(*state_);
+  detail::flush_deferred(*state_);
   state_->comm.barrier();
 }
 

@@ -140,6 +140,16 @@ struct LoopMetrics {
   std::int64_t d2h_bytes = 0;
   std::int64_t device_transfers = 0;
   double device_seconds = 0;
+  // Temporal tiling (WorldConfig::tile / ChainConfig tile=): the largest
+  // tile size any epoch of this chain ran at (1 = untiled; 0 for plain
+  // loops), the import-exec halo iterations CA epochs executed
+  // redundantly (owner-compute recomputation — fused tiles reach deeper,
+  // so the tile=1 vs tile=k delta is the redundancy the fusion buys its
+  // message savings with), and the messages fusion avoided posting (the
+  // tile-1 exchange epochs each fused epoch skipped).
+  std::int64_t tile = 0;
+  std::int64_t redundant_elems = 0;
+  std::int64_t msgs_saved = 0;
 
   void merge_from(const LoopMetrics& other);
 };
@@ -312,7 +322,9 @@ public:
   sim::Comm& comm();
   void barrier();
 
-  /// Lazy mode: flushes any queued loops now (no-op otherwise).
+  /// Drains deferred work now: a partially-filled temporal tile window
+  /// (executed per-invocation) and, in lazy mode, any queued loose
+  /// loops. No-op when nothing is queued.
   void flush();
 
 private:
@@ -428,6 +440,21 @@ struct WorldConfig {
   /// Caveat: deferred loops hold pointers to arg_gbl READ buffers, which
   /// must stay alive until the next synchronisation point.
   bool lazy = false;
+  /// Temporal chain tiling (the OPS cross-invocation tiling of
+  /// arXiv:1704.00693): fuse this many *consecutive* invocations of each
+  /// enabled chain into a single CA epoch — one grouped pre-exchange, the
+  /// whole k·L unrolled loop sequence with per-iteration slice shrinking,
+  /// one result epoch. 1 (default) keeps the per-invocation executor,
+  /// bitwise-identical to previous builds. Per-chain `tile=<k>` entries in
+  /// the ChainConfig override this value. Any intervening work (a loose
+  /// par_loop, a collective, dat access) flushes the partial tile, so the
+  /// fusion only engages on genuinely back-to-back invocations. Tiles
+  /// whose fused window needs more halo depth than the plan provides (or
+  /// than the chain's depth cap allows) fall back loudly to
+  /// per-invocation execution. The halo plan is built with depth
+  /// halo_depth * max(tile over config and chain entries) so fused
+  /// windows have layers to grow into.
+  int tile = 1;
 };
 
 /// The simulated distributed machine: owns the mesh, partition, halo plan
@@ -470,6 +497,12 @@ public:
   /// Per-(rank, set) permutations the locality layer applied (empty
   /// permutations when reordering is off). For tests and tools.
   const halo::ReorderResult& reorder_result() const { return reorder_; }
+
+  /// The transport backend every exchange flows over. For benches and
+  /// fault-injection tests (e.g. sim::Transport::set_post_delay wire
+  /// latency injection); application code reaches the transport through
+  /// each rank's Comm.
+  sim::TransportBackend& transport() { return *transport_; }
 
   /// Metrics merged over ranks, keyed by loop / chain name.
   std::map<std::string, LoopMetrics> loop_metrics() const;

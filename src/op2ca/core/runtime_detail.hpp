@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -148,6 +149,18 @@ struct RankState {
   std::vector<LoopRecord> lazy_queue;
   int lazy_flushes = 0;
 
+  // Temporal tile accumulator (WorldConfig::tile / ChainConfig tile=):
+  // completed chain invocations awaiting fusion — one inner vector per
+  // invocation, all of the chain named `tile_chain`, flushed as a single
+  // fused epoch when `tile_target` invocations have accumulated or any
+  // synchronisation point intervenes. `tile_fallbacks` names the
+  // (chain, tile) combinations already warned about, so the loud
+  // per-invocation fallback logs once, not every timestep.
+  std::vector<std::vector<LoopRecord>> tile_queue;
+  std::string tile_chain;
+  int tile_target = 1;
+  std::set<std::string> tile_fallbacks;
+
   // Inspector-built plans, cached by chain name (CA executor) and by dat
   // (per-loop executor), plus the staging-buffer pool shared by both.
   std::map<std::string, ChainPlan> chain_plans;
@@ -222,6 +235,29 @@ LoopMetrics execute_loop_op2(RankState& st, const LoopRecord& rec);
 /// Executes a captured chain with the CA executor (Alg 2).
 void execute_chain_ca(RankState& st, const std::string& name,
                       std::vector<LoopRecord>& loops);
+
+/// Executes a temporally-fused tile of `tile` chain invocations (their
+/// loops concatenated in `loops`) as one CA epoch. `plan_key` keys the
+/// ChainPlan / exchange / channel caches (distinct per tile geometry, so
+/// a partial flush at a sync point gets its own cached plan and
+/// persistent channels renegotiate only when the geometry changes);
+/// metrics land under `name` with LoopMetrics::tile = `tile`.
+void execute_chain_ca_tiled(RankState& st, const std::string& name,
+                            const std::string& plan_key,
+                            std::vector<LoopRecord>& loops, int tile);
+
+/// Flushes the tile accumulator: a full or partial tile of >= 2 queued
+/// invocations executes fused when the unrolled window is feasible
+/// (inspector accepts it, required depth within the halo plan and the
+/// chain's depth cap) — otherwise, and for a single queued invocation,
+/// each invocation executes with the per-invocation CA path. Infeasible
+/// (chain, tile) combinations warn once.
+void flush_tiles(RankState& st);
+
+/// Flushes every deferred-execution queue in program order: accumulated
+/// chain tiles first (they always predate lazy entries — chain_begin
+/// drains the lazy queue before capturing), then the lazy queue.
+void flush_deferred(RankState& st);
 
 /// Flushes the lazy queue: >= 2 queued loops become an automatically
 /// formed chain executed with CA when the inspector accepts it and the

@@ -19,6 +19,7 @@ World::World(mesh::MeshDef mesh, WorldConfig cfg)
   OP2CA_REQUIRE(cfg_.nranks >= 1, "World needs nranks >= 1");
   OP2CA_REQUIRE(cfg_.threads_per_rank >= 1,
                 "World needs threads_per_rank >= 1");
+  OP2CA_REQUIRE(cfg_.tile >= 1, "World needs tile >= 1");
   OP2CA_REQUIRE(mesh_.num_sets() > 0, "World needs a non-empty mesh");
 
   mesh::set_id seed = 0;
@@ -32,7 +33,15 @@ World::World(mesh::MeshDef mesh, WorldConfig cfg)
                                     seed);
 
   halo::HaloPlanOptions opts;
-  opts.depth = cfg_.halo_depth;
+  // Temporal tiling needs layers for the fused window to grow into: a
+  // tile of k invocations extends the Alg-3 window roughly k-fold, so
+  // the plan is built k times deeper. The largest tile any chain can run
+  // at governs (per-chain tile= entries may exceed the world default);
+  // tile == 1 everywhere leaves the depth untouched — bitwise-legacy.
+  int max_tile = cfg_.tile;
+  for (const auto& [name, entry] : cfg_.chains.entries())
+    if (entry.enabled) max_tile = std::max(max_tile, entry.tile);
+  opts.depth = cfg_.halo_depth * std::max(1, max_tile);
   opts.build_local_maps = true;
   plan_ = halo::build_halo_plan(mesh_, part_, opts);
 
@@ -70,7 +79,7 @@ void World::run(const std::function<void(Runtime&)>& spmd) {
     try {
       Runtime rt(this, state);
       spmd(rt);
-      detail::flush_lazy(*state);  // drain any deferred loops
+      detail::flush_deferred(*state);  // drain tiles + lazy queue
     } catch (...) {
       {
         std::lock_guard<std::mutex> lock(error_mu);
@@ -232,7 +241,7 @@ void World::write_metrics_csv(std::ostream& os) const {
                 "dep_wait_s", "gather_span", "reuse_gap", "layout",
                 "bytes_per_elem", "numa_bytes", "node_bytes", "net_bytes",
                 "stripes", "h2d_bytes", "d2h_bytes", "device_transfers",
-                "device_s"});
+                "device_s", "tile", "redundant_elems", "msgs_saved"});
   t.set_precision(6);
   auto add = [&t](const std::string& kind, const std::string& name,
                   const LoopMetrics& m) {
@@ -253,7 +262,7 @@ void World::write_metrics_csv(std::ostream& os) const {
                    : 0.0,
                m.numa_bytes, m.node_bytes, m.net_bytes, m.stripes,
                m.h2d_bytes, m.d2h_bytes, m.device_transfers,
-               m.device_seconds});
+               m.device_seconds, m.tile, m.redundant_elems, m.msgs_saved});
   };
   for (const auto& [name, m] : loop_metrics()) add("loop", name, m);
   for (const auto& [name, m] : chain_metrics()) add("chain", name, m);

@@ -54,6 +54,36 @@ double t_ca_chain(const Machine& mach, const ChainTerms& t) {
   return std::max(compute_core, comm) + compute_halo;
 }
 
+double t_ca_chain_tiled(const Machine& mach, const ChainTerms& t, int tile) {
+  const int k = std::max(1, tile);
+  // The fused epoch's grouped message carries every skipped exchange's
+  // layers: ~k times the per-invocation m_r, priced at that size's
+  // effective bandwidth (striping engages sooner on the bigger message).
+  const std::int64_t m_tile = t.m_r * static_cast<std::int64_t>(k);
+  const double L = mach.effective_latency();
+  const double B =
+      mach.effective_bandwidth(static_cast<std::size_t>(m_tile));
+  const double su =
+      mach.compute_speedup() * mach.vector_width / mach.locality_factor;
+  double compute_core = 0.0, compute_halo = 0.0;
+  for (const LoopTerms& lt : t.loops) {
+    compute_core += lt.g * static_cast<double>(lt.core_iters) / su;
+    compute_halo += lt.g * static_cast<double>(lt.halo_iters) / su;
+  }
+  const double c = mach.net.pack_time(m_tile);
+  const double comm = t.p * (L + static_cast<double>(m_tile) / B + c);
+  // One exchange per k invocations; cores of all k invocations overlap
+  // it. The j-th fused invocation's halo region reaches ~j layer-bands
+  // deep (slice shrink grows along the unrolled window), so the tile's
+  // total halo compute is sum_{j=1..k} j * halo = k(k+1)/2 * halo —
+  // (k+1)/2 per invocation. At k = 1 every term collapses to Eq (3).
+  const double per_tile =
+      std::max(static_cast<double>(k) * compute_core, comm) +
+      static_cast<double>(k) * compute_halo *
+          (static_cast<double>(k) + 1.0) / 2.0;
+  return per_tile / static_cast<double>(k);
+}
+
 double gain_percent(double t_op2, double t_ca) {
   if (t_op2 <= 0.0) return 0.0;
   return 100.0 * (t_op2 - t_ca) / t_op2;

@@ -48,6 +48,18 @@ struct ChainTerms {
 /// Eq (3): the chain executed with CA.
 double t_ca_chain(const Machine& mach, const ChainTerms& t);
 
+/// Temporal tiling extension of Eq (3): `tile` consecutive invocations of
+/// the chain fused into one CA epoch, reported as the modelled time of
+/// ONE invocation (so it compares directly against t_ca_chain). The fused
+/// epoch pays the p*(L + m/B + c) exchange once for `tile` invocations —
+/// k-fold latency amortisation — while the grouped message grows to
+/// tile * m_r (each skipped exchange's layers ride along) and the
+/// redundant halo compute of the j-th fused invocation reaches ~j times
+/// deeper, giving the (tile+1)/2 halo-growth multiplier. Degenerates to
+/// t_ca_chain exactly at tile = 1; the crossover where redundant compute
+/// overtakes message savings is what the fig drivers sweep with --tile.
+double t_ca_chain_tiled(const Machine& mach, const ChainTerms& t, int tile);
+
 /// Convenience: percentage gain of CA over OP2 (positive = CA faster).
 double gain_percent(double t_op2, double t_ca);
 

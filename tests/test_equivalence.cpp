@@ -523,6 +523,127 @@ TEST(Equivalence, DeviceSerialDispatchBitwiseLegacy) {
                            1, {}, false, device_cfg()));
 }
 
+// -- Temporal tiling (WorldConfig::tile). -------------------------------
+//
+// Fusing k back-to-back chain invocations into one exchange epoch moves
+// the core/boundary split (deeper shrink levels) and regenerates halo
+// values by redundant computation instead of exchange — per owned
+// element the arithmetic is unchanged, so direct dats stay bitwise
+// against the untiled baseline and indirect-INC dats reassociate within
+// the usual 1e-9. tile=1 must be the legacy executor exactly.
+
+/// GENUINELY back-to-back chain invocations: run_synthetic_chain puts
+/// the direct perturb loop before each bracket, which is intervening
+/// work that (correctly) flushes every tile window at size 1. Here
+/// perturb runs once up front and the bracketed pairs repeat, so full
+/// windows actually form and fuse.
+void tiled_program(Runtime& rt, const apps::mgcfd::Handles& h,
+                   int timesteps) {
+  namespace k = apps::mgcfd::kernels;
+  rt.par_loop("perturb", h.nodes0, k::synth_perturb,
+              arg_dat(rt.dat("spres"), Access::RW));
+  for (int t = 0; t < timesteps; ++t) {
+    rt.chain_begin("synthetic");
+    for (int c = 0; c < 3; ++c) {
+      rt.par_loop("u", h.edges0, k::synth_update,
+                  arg_dat(h.sres, 0, h.e2n0, Access::INC),
+                  arg_dat(h.sres, 1, h.e2n0, Access::INC),
+                  arg_dat(h.spres, 0, h.e2n0, Access::READ),
+                  arg_dat(h.spres, 1, h.e2n0, Access::READ));
+      rt.par_loop("f", h.edges0, k::synth_edge_flux,
+                  arg_dat(h.sflux, 0, h.e2n0, Access::INC),
+                  arg_dat(h.sflux, 1, h.e2n0, Access::INC),
+                  arg_dat(h.sres, 0, h.e2n0, Access::READ),
+                  arg_dat(h.sres, 1, h.e2n0, Access::READ),
+                  arg_dat(h.sewt, Access::READ));
+    }
+    rt.chain_end();
+  }
+}
+
+SynthResult run_synth_tiled(int nranks, int tile, Mode mode,
+                            int threads = 1,
+                            mesh::LayoutConfig layout = {},
+                            bool taskgraph = false) {
+  apps::mgcfd::Problem prob = apps::mgcfd::build_problem(1200, 1);
+  const mesh::dat_id sres = prob.sres, sflux = prob.sflux,
+                     spres = prob.spres;
+  WorldConfig cfg = equiv_config(nranks, mode, false,
+                                 mesh::ReorderKind::None, threads, layout,
+                                 taskgraph);
+  cfg.tile = tile;
+  World w(std::move(prob.mg.mesh), cfg);
+  w.run([&](Runtime& rt) {
+    const auto h = apps::mgcfd::resolve_handles(rt, prob);
+    tiled_program(rt, h, 4);
+  });
+  return SynthResult{w.fetch_dat(sres), w.fetch_dat(sflux),
+                     w.fetch_dat(spres)};
+}
+
+TEST(Equivalence, TiledMatchesOp2Baseline) {
+  const SynthResult base = run_synth_tiled(5, 1, Mode::kOp2);
+  for (const int tile : {1, 2, 4}) {
+    const SynthResult ca = run_synth_tiled(5, tile, Mode::kCa);
+    EXPECT_EQ(base.spres, ca.spres);  // direct loop: exact
+    testutil::expect_allclose(base.sres, ca.sres);
+    testutil::expect_allclose(base.sflux, ca.sflux);
+  }
+}
+
+TEST(Equivalence, TileOneIsBitwiseLegacy) {
+  // An explicit tile=1 run must take the identical code path as a run
+  // that never touches WorldConfig::tile: bitwise, not just tolerant.
+  apps::mgcfd::Problem prob = apps::mgcfd::build_problem(1200, 1);
+  const mesh::dat_id sres = prob.sres, sflux = prob.sflux,
+                     spres = prob.spres;
+  World w(std::move(prob.mg.mesh), equiv_config(5, Mode::kCa, false));
+  w.run([&](Runtime& rt) {
+    const auto h = apps::mgcfd::resolve_handles(rt, prob);
+    tiled_program(rt, h, 4);
+  });
+  const SynthResult legacy{w.fetch_dat(sres), w.fetch_dat(sflux),
+                           w.fetch_dat(spres)};
+  expect_bitwise(legacy, run_synth_tiled(5, 1, Mode::kCa));
+}
+
+TEST(Equivalence, TiledLayoutsAndThreads) {
+  // Tiling composes with the SIMD data plane and threaded sweeps: at
+  // each (layout, width) configuration the tiled run matches the OP2
+  // baseline of the same configuration.
+  for (const auto kind :
+       {mesh::LayoutKind::AoS, mesh::LayoutKind::SoA,
+        mesh::LayoutKind::AoSoA}) {
+    for (const int threads : {1, 4}) {
+      const SynthResult base =
+          run_synth_tiled(4, 1, Mode::kOp2, threads, layout_cfg(kind));
+      for (const int tile : {2, 4}) {
+        const SynthResult ca =
+            run_synth_tiled(4, tile, Mode::kCa, threads,
+                            layout_cfg(kind));
+        EXPECT_EQ(base.spres, ca.spres);
+        testutil::expect_allclose(base.sres, ca.sres);
+        testutil::expect_allclose(base.sflux, ca.sflux);
+      }
+    }
+  }
+}
+
+TEST(Equivalence, TiledTaskgraph) {
+  // ...and with the dependency-driven block sweep on top.
+  for (const int threads : {1, 4}) {
+    const SynthResult base =
+        run_synth_tiled(4, 1, Mode::kOp2, threads, {}, true);
+    for (const int tile : {2, 4}) {
+      const SynthResult ca =
+          run_synth_tiled(4, tile, Mode::kCa, threads, {}, true);
+      EXPECT_EQ(base.spres, ca.spres);
+      testutil::expect_allclose(base.sres, ca.sres);
+      testutil::expect_allclose(base.sflux, ca.sflux);
+    }
+  }
+}
+
 // -- Hydra chain (vflux preceded by its gradl producer). ----------------
 
 struct HydraResult {

@@ -35,6 +35,42 @@ chain gradl enabled=0  # trailing comment
   EXPECT_FALSE(cfg.enabled("unlisted"));
 }
 
+TEST(ChainConfigParse, TileKeyRoundTrips) {
+  std::istringstream in(R"(
+chain period loops=6 depth=2 tile=4
+chain vflux tile=1
+chain gradl depth=1
+)");
+  const ChainConfig cfg = ChainConfig::parse(in);
+  EXPECT_EQ(cfg.tile("period"), 4);
+  EXPECT_EQ(cfg.expected_loops("period"), 6);
+  EXPECT_EQ(cfg.max_depth("period"), 2);
+  EXPECT_EQ(cfg.tile("vflux"), 1);
+  // tile unset -> 0: the chain inherits WorldConfig::tile.
+  EXPECT_EQ(cfg.tile("gradl"), 0);
+  EXPECT_EQ(cfg.tile("unlisted"), 0);
+
+  // Programmatic enable() carries the same field.
+  ChainConfig prog;
+  prog.enable("jacob", /*loops=*/3, /*max_depth=*/2, /*tile=*/8);
+  EXPECT_EQ(prog.tile("jacob"), 8);
+}
+
+TEST(ChainConfigParse, RejectsBadTile) {
+  {
+    std::istringstream in("chain x tile=0\n");
+    EXPECT_THROW(ChainConfig::parse(in), Error);
+  }
+  {
+    std::istringstream in("chain x tile=-2\n");
+    EXPECT_THROW(ChainConfig::parse(in), Error);
+  }
+  {
+    std::istringstream in("chain x tile=abc\n");
+    EXPECT_THROW(ChainConfig::parse(in), Error);
+  }
+}
+
 TEST(ChainConfigParse, DefaultOn) {
   std::istringstream in("default on\nchain x enabled=0\n");
   const ChainConfig cfg = ChainConfig::parse(in);

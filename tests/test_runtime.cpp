@@ -366,6 +366,28 @@ TEST(RuntimeOp2, MetricsCsvExport) {
   EXPECT_NE(csv.find("kind,name,calls"), std::string::npos);
   EXPECT_NE(csv.find("loop,update"), std::string::npos);
   EXPECT_NE(csv.find("loop,edge_flux"), std::string::npos);
+  // Temporal-tiling ledger columns ride at the end of every row.
+  EXPECT_NE(csv.find("tile,redundant_elems,msgs_saved"),
+            std::string::npos);
+}
+
+TEST(RuntimeOp2, MetricsMergeTilingFields) {
+  // Allgather-merge semantics of the tiling ledger: tile is a max over
+  // ranks (they all ran the same epochs), the redundant-compute and
+  // saved-message counters are per-rank work and sum.
+  LoopMetrics a, b;
+  a.tile = 4;
+  a.redundant_elems = 100;
+  a.msgs_saved = 9;
+  b.tile = 2;
+  b.redundant_elems = 50;
+  b.msgs_saved = 3;
+  a.merge_from(b);
+  EXPECT_EQ(a.tile, 4);
+  EXPECT_EQ(a.redundant_elems, 150);
+  EXPECT_EQ(a.msgs_saved, 12);
+  b.merge_from(a);
+  EXPECT_EQ(b.tile, 4);
 }
 
 TEST(RuntimeOp2, PhaseTimingsSumToWall) {
